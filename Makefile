@@ -1,0 +1,42 @@
+# latlab — reproduction of "Using Latency to Evaluate Interactive System
+# Performance" (OSDI '96). Standard targets:
+
+GO ?= go
+
+.PHONY: all build vet test race bench repro quick examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One benchmark per paper table/figure, plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' .
+
+# Regenerate every table and figure at paper-sized workloads.
+repro:
+	$(GO) run ./cmd/latbench
+
+# Fast smoke of the full pipeline.
+quick:
+	$(GO) run ./cmd/latbench -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/notepad
+	$(GO) run ./examples/powerpoint
+	$(GO) run ./examples/wordstudy
+	$(GO) run ./examples/thinkwait
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,376 @@
+// Package latlab's benchmark harness: one testing.B benchmark per table
+// and figure in the paper's evaluation, each regenerating the artifact
+// at paper-sized workloads and reporting its headline quantity as a
+// custom metric, plus ablation benchmarks for the design choices
+// DESIGN.md calls out (crossing flushes, 16-bit costs, Test's
+// WM_QUEUESYNC, buffer-cache warming).
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package latlab
+
+import (
+	"io"
+	"testing"
+
+	"latlab/internal/apps"
+	"latlab/internal/core"
+	"latlab/internal/experiments"
+	"latlab/internal/input"
+	"latlab/internal/kernel"
+	"latlab/internal/persona"
+	"latlab/internal/simtime"
+	"latlab/internal/system"
+)
+
+func cfg() experiments.Config { return experiments.DefaultConfig() }
+
+// runExperiment executes the registered experiment b.N times, rendering
+// to io.Discard (rendering cost is part of regenerating the artifact).
+func runExperiment(b *testing.B, id string) experiments.Result {
+	b.Helper()
+	spec, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = spec.Run(cfg())
+		if err := res.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+func BenchmarkFig1IdleLoopValidation(b *testing.B) {
+	r := runExperiment(b, "fig1").(*experiments.Fig1Result)
+	b.ReportMetric(r.IdleLoop.Mean, "idleloop-ms")
+	b.ReportMetric(r.Conventional.Mean, "conventional-ms")
+	b.ReportMetric(r.DiscrepancyMs, "missed-ms")
+}
+
+func BenchmarkFig3IdleProfiles(b *testing.B) {
+	r := runExperiment(b, "fig3").(*experiments.Fig3Result)
+	for _, s := range r.Systems {
+		if s.Persona == "Windows NT 4.0" {
+			b.ReportMetric(s.ClockOverheadCycles, "nt40-clock-cycles")
+		}
+	}
+}
+
+func BenchmarkFig4WindowMaximize(b *testing.B) {
+	r := runExperiment(b, "fig4").(*experiments.Fig4Result)
+	b.ReportMetric(r.Event.Latency.Milliseconds(), "maximize-ms")
+	b.ReportMetric(float64(len(r.AnimationSpikes)), "animation-spikes")
+}
+
+func BenchmarkFig5RawTrace(b *testing.B) {
+	r := runExperiment(b, "fig5").(*experiments.Fig5Result)
+	b.ReportMetric(float64(len(r.Events)), "events")
+}
+
+func BenchmarkFig6SimpleEvents(b *testing.B) {
+	r := runExperiment(b, "fig6").(*experiments.Fig6Result)
+	for _, s := range r.Systems {
+		switch s.Persona {
+		case "Windows NT 4.0":
+			b.ReportMetric(s.Keystroke.Mean, "nt40-key-ms")
+		case "Windows 95":
+			b.ReportMetric(s.Keystroke.Mean, "w95-key-ms")
+			b.ReportMetric(s.Click.Mean, "w95-click-ms")
+		}
+	}
+}
+
+func BenchmarkFig7Notepad(b *testing.B) {
+	r := runExperiment(b, "fig7").(*experiments.Fig7Result)
+	for _, s := range r.Systems {
+		if s.Persona == "Windows 95" {
+			b.ReportMetric(s.Report.TotalLatency().Milliseconds(), "w95-cumlat-ms")
+			b.ReportMetric(100*s.FractionUnder10ms, "w95-under10ms-pct")
+		}
+	}
+}
+
+func BenchmarkFig8Powerpoint(b *testing.B) {
+	r := runExperiment(b, "fig8").(*experiments.Fig8Result)
+	for _, s := range r.Systems {
+		if s.Persona == "Windows NT 4.0" {
+			b.ReportMetric(float64(len(s.Report.Events)), "nt40-long-events")
+		}
+	}
+}
+
+func BenchmarkTable1LongEvents(b *testing.B) {
+	r := runExperiment(b, "table1").(*experiments.Table1Result)
+	for _, row := range r.Rows {
+		switch row.Event {
+		case "Save document":
+			b.ReportMetric(row.NT40Sec, "save-nt40-s")
+			b.ReportMetric(row.NT351Sec, "save-nt351-s")
+		case "Start Powerpoint":
+			b.ReportMetric(row.NT40Sec, "start-nt40-s")
+		}
+	}
+}
+
+func BenchmarkFig9PageDownCounters(b *testing.B) {
+	r := runExperiment(b, "fig9").(*experiments.CounterResult)
+	b.ReportMetric(100*r.TLBFraction351, "tlb-share-pct")
+	b.ReportMetric(r.W95TLBRatio, "w95-tlb-ratio")
+}
+
+func BenchmarkFig10OLECounters(b *testing.B) {
+	r := runExperiment(b, "fig10").(*experiments.CounterResult)
+	b.ReportMetric(100*r.TLBFraction351, "tlb-share-pct")
+}
+
+func BenchmarkFig11Word(b *testing.B) {
+	r := runExperiment(b, "fig11").(*experiments.Fig11Result)
+	for _, s := range r.Systems {
+		if s.Persona == "Windows NT 4.0" {
+			b.ReportMetric(s.Summary.Mean, "nt40-mean-ms")
+		} else {
+			b.ReportMetric(s.Summary.Mean, "nt351-mean-ms")
+		}
+	}
+}
+
+func BenchmarkTable2Interarrival(b *testing.B) {
+	r := runExperiment(b, "table2").(*experiments.Table2Result)
+	b.ReportMetric(float64(r.Rows[0].Count), "over100ms")
+	b.ReportMetric(float64(r.Rows[1].Count), "over110ms")
+	b.ReportMetric(float64(r.Rows[2].Count), "over120ms")
+}
+
+func BenchmarkFig12TimeSeries(b *testing.B) {
+	r := runExperiment(b, "fig12").(*experiments.Fig12Result)
+	for _, s := range r.Systems {
+		if s.Persona == "Windows NT 4.0" {
+			b.ReportMetric(s.MeanInterarrivalMs/1000, "nt40-interarrival-s")
+		}
+	}
+}
+
+func BenchmarkS54TestVsHand(b *testing.B) {
+	r := runExperiment(b, "s54").(*experiments.S54Result)
+	b.ReportMetric(r.TestTypical.Mean, "test-ms")
+	b.ReportMetric(r.HandTypical.Mean, "hand-ms")
+}
+
+// --- Ablation benchmarks -------------------------------------------------
+//
+// Each ablation switches one modelled mechanism off and reports the same
+// headline number, so the contribution of the mechanism is visible in
+// the benchmark output.
+
+// keystrokeLatency measures the mean unbound-keystroke latency under p.
+func keystrokeLatency(b *testing.B, p persona.P) float64 {
+	b.Helper()
+	sys := system.Boot(p)
+	defer sys.Shutdown()
+	probe := core.AttachProbe(sys.K)
+	idle := core.StartIdleLoop(sys.K, 60_000)
+	app := sys.SpawnApp("bench", func(tc *kernel.TC) {
+		for {
+			m := tc.GetMessage()
+			if m.Kind == kernel.WMQuit {
+				return
+			}
+			sys.Win.KeyTranslate(tc)
+			sys.Win.DefWindowProc(tc)
+		}
+	})
+	sys.Win.BindApp([]uint64{345, 346})
+	for i := 0; i < 20; i++ {
+		at := simtime.Time(200+int64(i)*250) * simtime.Time(simtime.Millisecond)
+		sys.K.At(at, func(simtime.Time) { sys.Inject(kernel.WMKeyDown, 'a', false) })
+	}
+	sys.K.Run(simtime.Time(6 * simtime.Second))
+	events := core.Extract(idle.Samples(), probe.Msgs, core.ExtractOptions{Thread: app.ID()})
+	var sum float64
+	for _, e := range events[1:] { // drop the cold trial
+		sum += e.Latency.Milliseconds()
+	}
+	return sum / float64(len(events)-1)
+}
+
+// BenchmarkAblationCrossingFlush quantifies the NT 3.51 server
+// architecture: the same keystroke with and without TLB flushes on
+// protection-domain crossings.
+func BenchmarkAblationCrossingFlush(b *testing.B) {
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		p := persona.NT351()
+		with = keystrokeLatency(b, p)
+		noFlush := p
+		noFlush.Kernel.Penalties.DomainCrossing = 0
+		noFlush.Kernel.FlushOnProcessSwitch = false
+		without = keystrokeLatency(b, noFlush)
+	}
+	b.ReportMetric(with, "with-flush-ms")
+	b.ReportMetric(without, "no-crossing-cost-ms")
+}
+
+// BenchmarkAblation16BitCosts quantifies the Windows 95 16-bit signature
+// (segment loads, unaligned accesses, wider data windows).
+func BenchmarkAblation16BitCosts(b *testing.B) {
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		p := persona.W95()
+		with = keystrokeLatency(b, p)
+		clean := p
+		clean.SegLoadsPerKCycle = 0
+		clean.UnalignedPerKCycle = 0
+		clean.DataWindowScale = 1.0
+		without = keystrokeLatency(b, clean)
+	}
+	b.ReportMetric(with, "w95-ms")
+	b.ReportMetric(without, "w95-no16bit-ms")
+}
+
+// BenchmarkAblationQueueSync quantifies the Microsoft Test artifact on
+// Notepad: identical input with and without WM_QUEUESYNC, without
+// stripping.
+func BenchmarkAblationQueueSync(b *testing.B) {
+	run := func(sync bool) simtime.Duration {
+		sys := system.Boot(persona.W95())
+		defer sys.Shutdown()
+		probe := core.AttachProbe(sys.K)
+		idle := core.StartIdleLoop(sys.K, 100_000)
+		n := apps.NewNotepad(sys, 250_000)
+		script := &input.Script{
+			Events:    input.TypeText(simtime.Time(300*simtime.Millisecond), input.SampleText(60), 120*simtime.Millisecond),
+			QueueSync: sync,
+		}
+		script.Install(sys)
+		sys.K.Run(script.End().Add(simtime.Second))
+		events := core.Extract(idle.Samples(), probe.Msgs, core.ExtractOptions{Thread: n.Thread().ID()})
+		var total simtime.Duration
+		for _, e := range events {
+			total += e.Latency
+		}
+		return total
+	}
+	var with, without simtime.Duration
+	for i := 0; i < b.N; i++ {
+		with = run(true)
+		without = run(false)
+	}
+	b.ReportMetric(with.Milliseconds(), "with-queuesync-ms")
+	b.ReportMetric(without.Milliseconds(), "without-ms")
+}
+
+// BenchmarkAblationBufferCache quantifies buffer-cache warming on OLE
+// activation: cold vs warm session cost.
+func BenchmarkAblationBufferCache(b *testing.B) {
+	var cold, warm simtime.Duration
+	for i := 0; i < b.N; i++ {
+		sys := system.Boot(persona.NT40())
+		ppt := apps.NewPowerpoint(sys, apps.DefaultPowerpointParams())
+		_ = ppt
+		drive := func(kind kernel.MsgKind, param int64) simtime.Duration {
+			start := sys.K.Now()
+			sys.K.At(sys.K.Now()+1, func(simtime.Time) { sys.Inject(kind, param, false) })
+			for {
+				sys.K.RunFor(10 * simtime.Millisecond)
+				f := sys.Focus()
+				if f.State() == kernel.StateBlockedMsg && f.QueueLen() == 0 &&
+					sys.K.SyncIOOutstanding() == 0 {
+					break
+				}
+			}
+			return sys.K.Now().Sub(start)
+		}
+		drive(kernel.WMCommand, apps.CmdLaunch)
+		drive(kernel.WMCommand, apps.CmdOpen)
+		cold = drive(kernel.WMCommand, apps.CmdEditObject+0)
+		drive(kernel.WMCommand, apps.CmdEndEdit)
+		drive(kernel.WMCommand, apps.CmdEditObject+0) // object data now warm
+		drive(kernel.WMCommand, apps.CmdEndEdit)
+		warm = drive(kernel.WMCommand, apps.CmdEditObject+0)
+		sys.Shutdown()
+	}
+	b.ReportMetric(cold.Seconds(), "cold-activate-s")
+	b.ReportMetric(warm.Seconds(), "warm-activate-s")
+}
+
+// BenchmarkSimulatorThroughput reports raw simulator speed: simulated
+// seconds per wall second for an idle NT 4.0 machine with the instrument
+// running.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys := system.Boot(persona.NT40())
+		core.StartIdleLoop(sys.K, 1_100_000)
+		sys.K.Run(simtime.Time(10 * simtime.Second))
+		sys.Shutdown()
+	}
+	b.ReportMetric(10*float64(b.N), "sim-seconds")
+}
+
+// BenchmarkExtraction reports the analysis-side cost: extracting events
+// from a large pre-recorded trace.
+func BenchmarkExtraction(b *testing.B) {
+	sys := system.Boot(persona.NT40())
+	probe := core.AttachProbe(sys.K)
+	idle := core.StartIdleLoop(sys.K, 400_000)
+	n := apps.NewNotepad(sys, 250_000)
+	script := &input.Script{
+		Events:    input.TypeText(simtime.Time(300*simtime.Millisecond), input.SampleText(500), 120*simtime.Millisecond),
+		QueueSync: true,
+	}
+	script.Install(sys)
+	sys.K.Run(script.End().Add(simtime.Second))
+	sys.Shutdown()
+	samples, msgs, tid := idle.Samples(), probe.Msgs, n.Thread().ID()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		events := core.Extract(samples, msgs, core.ExtractOptions{Thread: tid, StripQueueSync: true})
+		if len(events) != 500 {
+			b.Fatalf("events = %d", len(events))
+		}
+	}
+}
+
+func BenchmarkExtBatching(b *testing.B) {
+	r := runExperimentExt(b, "ext-batching").(*experiments.ExtBatchingResult)
+	b.ReportMetric(r.Paced.Mean, "paced-ms")
+	b.ReportMetric(r.Saturated.Mean, "saturated-ms")
+	b.ReportMetric(r.SaturatedRate, "saturated-events-per-s")
+}
+
+func BenchmarkExtThinkWait(b *testing.B) {
+	r := runExperimentExt(b, "ext-thinkwait").(*experiments.ExtThinkWaitResult)
+	for _, s := range r.Systems {
+		if s.Persona == "Windows 95" {
+			b.ReportMetric(100*s.WaitShare, "w95-wait-pct")
+		}
+	}
+}
+
+func BenchmarkExtMetric(b *testing.B) {
+	r := runExperimentExt(b, "ext-metric").(*experiments.ExtMetricResult)
+	b.ReportMetric(r.Systems[0].Values[0], "nt351-irritation-50ms-s")
+}
+
+func BenchmarkExtSlowCPU(b *testing.B) {
+	r := runExperimentExt(b, "ext-slowcpu").(*experiments.ExtSlowCPUResult)
+	b.ReportMetric(r.Rows[len(r.Rows)-1].Refresh.Mean, "20mhz-refresh-ms")
+}
+
+func BenchmarkExtInterrupts(b *testing.B) {
+	r := runExperimentExt(b, "ext-interrupts").(*experiments.ExtInterruptsResult)
+	for _, row := range r.Systems {
+		if row.Persona == "Windows NT 4.0" {
+			b.ReportMetric(row.Cycles["keyboard"], "nt40-kbd-cycles")
+		}
+	}
+}
+
+// runExperimentExt mirrors runExperiment for the extension artifacts.
+func runExperimentExt(b *testing.B, id string) experiments.Result {
+	return runExperiment(b, id)
+}

@@ -1,0 +1,111 @@
+// Command idleprof explores the idle-loop instrument interactively: it
+// boots a persona, runs the idle loop for a configurable span with an
+// optional synthetic foreground burst, and prints the utilization
+// profile plus summary statistics, optionally exporting the raw sample
+// trace as CSV for cmd/traceview.
+//
+// Usage:
+//
+//	idleprof -persona nt40 -seconds 2 -burst-ms 30 -burst-at-ms 500
+//	idleprof -persona w95 -csv samples.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"latlab/internal/core"
+	"latlab/internal/cpu"
+	"latlab/internal/kernel"
+	"latlab/internal/persona"
+	"latlab/internal/simtime"
+	"latlab/internal/system"
+	"latlab/internal/trace"
+	"latlab/internal/viz"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("idleprof", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		personaName = fs.String("persona", "nt40", "persona: nt351, nt40, or w95")
+		seconds     = fs.Float64("seconds", 2, "simulated run length")
+		burstMs     = fs.Float64("burst-ms", 0, "inject a foreground CPU burst of this length")
+		burstAtMs   = fs.Float64("burst-at-ms", 500, "burst start time")
+		bucketMs    = fs.Float64("bucket-ms", 10, "averaging bucket for the profile (0 = full resolution)")
+		csvPath     = fs.String("csv", "", "also write the raw idle samples to this CSV file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	p, ok := persona.ByShort(*personaName)
+	if !ok {
+		fmt.Fprintf(stderr, "idleprof: unknown persona %q (nt351, nt40, w95)\n", *personaName)
+		return 1
+	}
+	if *seconds <= 0 || *seconds > 600 {
+		fmt.Fprintf(stderr, "idleprof: -seconds must be in (0, 600]\n")
+		return 1
+	}
+
+	sys := system.Boot(p)
+	defer sys.Shutdown()
+	il := core.StartIdleLoop(sys.K, int(*seconds*1100)+1000)
+
+	if *burstMs > 0 {
+		app := sys.K.Spawn("burst", 1, system.AppPrio, func(tc *kernel.TC) {
+			tc.GetMessage()
+			tc.Compute(cpu.Segment{Name: "burst",
+				BaseCycles: int64(*burstMs * 100_000)})
+		})
+		sys.K.At(simtime.Time(simtime.FromMillis(*burstAtMs)), func(simtime.Time) {
+			sys.K.PostMessage(app, kernel.WMCommand, 0)
+		})
+	}
+
+	sys.K.Run(simtime.Time(simtime.FromSeconds(*seconds)))
+
+	samples := il.Samples()
+	var pts []core.ProfilePoint
+	if *bucketMs > 0 {
+		pts = core.AveragedProfile(samples, simtime.FromMillis(*bucketMs))
+	} else {
+		pts = core.Profile(samples)
+	}
+	title := fmt.Sprintf("%s — %d idle samples over %.1fs (mean util %.3f%%)",
+		p.Name, len(samples), *seconds, 100*core.MeanUtil(pts))
+	if err := viz.Profile(stdout, title, pts, 110, 12); err != nil {
+		fmt.Fprintln(stderr, "idleprof:", err)
+		return 1
+	}
+
+	var stolen simtime.Duration
+	for _, s := range samples {
+		stolen += s.Stolen(core.NominalSample)
+	}
+	fmt.Fprintf(stdout, "\ntotal non-idle time observed: %v (ground truth %v)\n",
+		stolen, sys.K.NonIdleBusyTime())
+	fmt.Fprintf(stdout, "clock interrupts taken: %d\n", sys.K.ClockTicks())
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "idleprof:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := trace.WriteIdleCSV(f, samples); err != nil {
+			fmt.Fprintln(stderr, "idleprof:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %d samples to %s\n", len(samples), *csvPath)
+	}
+	return 0
+}

@@ -1,0 +1,195 @@
+// Command latbench runs latlab's reproduction of the paper's evaluation:
+// every table and figure, rendered in the paper's format.
+//
+// Usage:
+//
+//	latbench -list
+//	latbench [-quick] [-seed N] [-run fig7,table1] [-out results.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"latlab/internal/experiments"
+	"latlab/internal/viz"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("latbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list    = fs.Bool("list", false, "list available experiments and exit")
+		quick   = fs.Bool("quick", false, "trim workload sizes (for smoke runs)")
+		seed    = fs.Uint64("seed", 1996, "seed for stochastic models")
+		runArg  = fs.String("run", "all", "comma-separated experiment ids, or 'all'")
+		outPath = fs.String("out", "", "write results to this file instead of stdout")
+		csvDir  = fs.String("csv-dir", "", "also export raw per-event CSVs for experiments that have them")
+		svgDir  = fs.String("svg-dir", "", "also export SVG figures for experiments that have them")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		fmt.Fprintf(stdout, "%-14s %-55s %s\n", "id", "title", "paper")
+		for _, s := range experiments.All() {
+			fmt.Fprintf(stdout, "%-14s %-55s %s\n", s.ID, s.Title, s.Paper)
+		}
+		return 0
+	}
+
+	w := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "latbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	var specs []experiments.Spec
+	if *runArg == "all" {
+		specs = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runArg, ",") {
+			s, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(stderr, "latbench: unknown experiment %q (try -list)\n", id)
+				return 1
+			}
+			specs = append(specs, s)
+		}
+	}
+
+	for i, s := range specs {
+		if i > 0 {
+			fmt.Fprintln(w, strings.Repeat("=", 90))
+		}
+		start := time.Now()
+		res := s.Run(cfg)
+		if err := res.Render(w); err != nil {
+			fmt.Fprintf(stderr, "latbench: rendering %s: %v\n", s.ID, err)
+			return 1
+		}
+		fmt.Fprintf(w, "\n[%s: %s — reproduces %s; ran in %.1fs]\n",
+			s.ID, s.Title, s.Paper, time.Since(start).Seconds())
+		if *csvDir != "" {
+			if err := exportCSVs(*csvDir, s.ID, res); err != nil {
+				fmt.Fprintf(stderr, "latbench: exporting %s: %v\n", s.ID, err)
+				return 1
+			}
+		}
+		if *svgDir != "" {
+			if err := exportSVGs(*svgDir, s.ID, res); err != nil {
+				fmt.Fprintf(stderr, "latbench: exporting %s: %v\n", s.ID, err)
+				return 1
+			}
+		}
+	}
+	return 0
+}
+
+// exportSVGs writes browser-viewable figures: an event time series per
+// event set, and a utilization profile per profile set.
+func exportSVGs(dir, id string, res experiments.Result) error {
+	writeSVG := func(name string, render func(w io.Writer) error) error {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		slug := strings.ToLower(strings.ReplaceAll(name, " ", "-"))
+		f, err := os.Create(fmt.Sprintf("%s/%s-%s.svg", dir, id, slug))
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if exp, ok := res.(experiments.EventsExporter); ok {
+		for name, events := range exp.EventSets() {
+			name, events := name, events
+			if err := writeSVG(name+"-events", func(w io.Writer) error {
+				return viz.TimeSeriesSVG(w, fmt.Sprintf("%s — %s", id, name), events, 100)
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	if exp, ok := res.(experiments.ReportExporter); ok {
+		for name, rep := range exp.Reports() {
+			name, rep := name, rep
+			lats := rep.Latencies()
+			hi := 1.0
+			for _, l := range lats {
+				if l > hi {
+					hi = l
+				}
+			}
+			if err := writeSVG(name+"-histogram", func(w io.Writer) error {
+				return viz.HistogramSVG(w, fmt.Sprintf("%s — %s", id, name),
+					rep.Histogram(0, hi*1.01, 24))
+			}); err != nil {
+				return err
+			}
+			if err := writeSVG(name+"-cumulative", func(w io.Writer) error {
+				return viz.CumulativeSVG(w, fmt.Sprintf("%s — %s", id, name),
+					rep.CumulativeCurve())
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	if exp, ok := res.(experiments.ProfileExporter); ok {
+		for name, pts := range exp.ProfileSets() {
+			name, pts := name, pts
+			if err := writeSVG(name+"-profile", func(w io.Writer) error {
+				return viz.ProfileSVG(w, fmt.Sprintf("%s — %s", id, name), pts)
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// exportCSVs writes one events CSV per named set for results that
+// implement experiments.EventsExporter.
+func exportCSVs(dir, id string, res experiments.Result) error {
+	exp, ok := res.(experiments.EventsExporter)
+	if !ok {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, events := range exp.EventSets() {
+		slug := strings.ToLower(strings.ReplaceAll(name, " ", "-"))
+		path := fmt.Sprintf("%s/%s-%s.csv", dir, id, slug)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := viz.EventsCSV(f, events); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out, errBuf strings.Builder
+	if code := run([]string{"-list"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	for _, id := range []string{"fig1", "table1", "table2", "ext-slowcpu"} {
+		if !strings.Contains(out.String(), id) {
+			t.Fatalf("list missing %s:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestRunQuickSubset(t *testing.T) {
+	var out, errBuf strings.Builder
+	if code := run([]string{"-quick", "-run", "fig1,fig4"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "Fig. 1") || !strings.Contains(got, "Fig. 4") {
+		t.Fatalf("missing experiment output:\n%s", got)
+	}
+	if !strings.Contains(got, "====") {
+		t.Fatalf("missing separator between experiments")
+	}
+	if !strings.Contains(got, "reproduces Fig. 1") {
+		t.Fatalf("missing provenance footer")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out, errBuf strings.Builder
+	if code := run([]string{"-run", "fig99"}, &out, &errBuf); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errBuf.String(), "unknown experiment") {
+		t.Fatalf("stderr = %q", errBuf.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errBuf strings.Builder
+	if code := run([]string{"-bogus"}, &out, &errBuf); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestOutFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "results.txt")
+	var out, errBuf strings.Builder
+	if code := run([]string{"-quick", "-run", "fig1", "-out", path}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Fig. 1") {
+		t.Fatalf("out file missing content")
+	}
+	// Bad out path errors.
+	if code := run([]string{"-quick", "-run", "fig1", "-out", filepath.Join(dir, "nope", "x")}, &out, &errBuf); code != 1 {
+		t.Fatalf("bad out path should exit 1")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	var out, errBuf strings.Builder
+	if code := run([]string{"-quick", "-run", "fig7", "-csv-dir", dir}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 { // one per persona
+		t.Fatalf("csv files = %d, want 3", len(entries))
+	}
+	data, err := os.ReadFile(dir + "/" + entries[0].Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "enqueued_ms,") {
+		t.Fatalf("csv header wrong: %q", string(data[:40]))
+	}
+	if !strings.HasPrefix(entries[0].Name(), "fig7-windows") {
+		t.Fatalf("file naming wrong: %s", entries[0].Name())
+	}
+}
+
+func TestSVGReportExport(t *testing.T) {
+	dir := t.TempDir()
+	var out, errBuf strings.Builder
+	if code := run([]string{"-quick", "-run", "fig7", "-svg-dir", dir}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 personas × (events + histogram + cumulative).
+	if len(entries) != 9 {
+		names := []string{}
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("svg files = %v, want 9", names)
+	}
+}
+
+func TestSVGExport(t *testing.T) {
+	dir := t.TempDir()
+	var out, errBuf strings.Builder
+	if code := run([]string{"-quick", "-run", "fig4,fig5", "-svg-dir", dir}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fig4: 2 profiles; fig5: 1 event set + no reports (Fig5Result has no
+	// Reports method).
+	if len(entries) != 3 {
+		names := []string{}
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("svg files = %v, want 3", names)
+	}
+	data, err := os.ReadFile(dir + "/" + entries[0].Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg ") {
+		t.Fatalf("not svg: %q", string(data[:20]))
+	}
+}

@@ -1,0 +1,75 @@
+// Command traceview renders an idle-sample CSV (as written by idleprof
+// or trace.WriteIdleCSV) as a CPU-utilization profile, at full 1 ms
+// resolution or averaged into buckets — the two views of paper Fig. 4.
+//
+// Usage:
+//
+//	traceview -in samples.csv
+//	traceview -in samples.csv -bucket-ms 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"latlab/internal/core"
+	"latlab/internal/simtime"
+	"latlab/internal/trace"
+	"latlab/internal/viz"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("traceview", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in       = fs.String("in", "", "idle-sample CSV file (required)")
+		bucketMs = fs.Float64("bucket-ms", 0, "averaging bucket (0 = full resolution)")
+		width    = fs.Int("width", 110, "plot width")
+		height   = fs.Int("height", 12, "plot height")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *in == "" {
+		fmt.Fprintln(stderr, "traceview: -in is required")
+		fs.Usage()
+		return 2
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintln(stderr, "traceview:", err)
+		return 1
+	}
+	defer f.Close()
+	samples, err := trace.ParseIdleCSV(f)
+	if err != nil {
+		fmt.Fprintln(stderr, "traceview:", err)
+		return 1
+	}
+
+	var pts []core.ProfilePoint
+	mode := "full 1ms resolution"
+	if *bucketMs > 0 {
+		pts = core.AveragedProfile(samples, simtime.FromMillis(*bucketMs))
+		mode = fmt.Sprintf("averaged over %.0fms buckets", *bucketMs)
+	} else {
+		pts = core.Profile(samples)
+	}
+	var stolen simtime.Duration
+	for _, s := range samples {
+		stolen += s.Stolen(core.NominalSample)
+	}
+	title := fmt.Sprintf("%s — %d samples, %s, busy %v", *in, len(samples), mode, stolen)
+	if err := viz.Profile(stdout, title, pts, *width, *height); err != nil {
+		fmt.Fprintln(stderr, "traceview:", err)
+		return 1
+	}
+	return 0
+}

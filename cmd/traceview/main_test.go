@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"latlab/internal/simtime"
+	"latlab/internal/trace"
+)
+
+func writeSamples(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "samples.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	samples := []trace.IdleSample{
+		{Done: simtime.Time(simtime.Millisecond), Elapsed: simtime.Millisecond},
+		{Done: simtime.Time(12 * simtime.Millisecond), Elapsed: 11 * simtime.Millisecond},
+		{Done: simtime.Time(13 * simtime.Millisecond), Elapsed: simtime.Millisecond},
+	}
+	if err := trace.WriteIdleCSV(f, samples); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRenderFullResolution(t *testing.T) {
+	path := writeSamples(t)
+	var out, errBuf strings.Builder
+	if code := run([]string{"-in", path}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "3 samples") || !strings.Contains(got, "full 1ms resolution") {
+		t.Fatalf("header wrong:\n%s", got)
+	}
+	if !strings.Contains(got, "busy 10ms") {
+		t.Fatalf("busy total wrong:\n%s", got)
+	}
+}
+
+func TestRenderBucketed(t *testing.T) {
+	path := writeSamples(t)
+	var out, errBuf strings.Builder
+	if code := run([]string{"-in", path, "-bucket-ms", "5"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "averaged over 5ms buckets") {
+		t.Fatalf("bucket mode missing:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out, errBuf strings.Builder
+	if code := run(nil, &out, &errBuf); code != 2 {
+		t.Fatalf("missing -in: exit %d", code)
+	}
+	if code := run([]string{"-in", "/nonexistent/file.csv"}, &out, &errBuf); code != 1 {
+		t.Fatalf("missing file: exit %d", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(bad, []byte("not a csv"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-in", bad}, &out, &errBuf); code != 1 {
+		t.Fatalf("bad csv: exit %d", code)
+	}
+	if code := run([]string{"-zz"}, &out, &errBuf); code != 2 {
+		t.Fatalf("bad flag: exit %d", code)
+	}
+}

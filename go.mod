@@ -1,0 +1,3 @@
+module latlab
+
+go 1.22

@@ -1,0 +1,72 @@
+// Package apps implements the message-driven application models the
+// paper's benchmarks drive: a plain-text editor (Notepad), a word
+// processor with background spell-checking coroutines (Word), a slide
+// editor with OLE-embedded graph objects (PowerPoint), and the echo
+// microbenchmark used to validate the idle-loop methodology (Fig. 1).
+//
+// Applications run as foreground threads under internal/system, pull
+// input with GetMessage, and perform their work through internal/winsys
+// calls plus application-side compute segments — so every persona
+// difference (crossings, 16-bit costs, path lengths) reaches their
+// event latencies through mechanism, not assertion.
+package apps
+
+import (
+	"latlab/internal/cpu"
+	"latlab/internal/persona"
+)
+
+// Application command identifiers (Param of WMCommand messages).
+const (
+	// CmdLaunch makes an application perform its startup sequence (cold
+	// start: demand-page the binary, build windows).
+	CmdLaunch int64 = 1
+	// CmdOpen opens the application's document.
+	CmdOpen int64 = 2
+	// CmdSave saves the document.
+	CmdSave int64 = 3
+	// CmdEndEdit deactivates the current OLE editing session.
+	CmdEndEdit int64 = 4
+	// CmdEditObject activates OLE object i as CmdEditObject+i.
+	CmdEditObject int64 = 10
+)
+
+// queueSyncSeg builds the per-persona WM_QUEUESYNC processing segment
+// (the Microsoft Test artifact; dearest on Windows 95 — Fig. 7 note).
+func queueSyncSeg(p persona.P) cpu.Segment {
+	c := p.QueueSyncCycles
+	seg := cpu.Segment{
+		Name:         "wm-queuesync",
+		BaseCycles:   c,
+		Instructions: c * 6 / 10,
+		DataRefs:     c / 4,
+		CodePages:    []uint64{250, 251},
+		DataPages:    []uint64{252},
+	}
+	if p.SegLoadsPerKCycle > 0 {
+		seg.SegmentLoads = int64(p.SegLoadsPerKCycle * float64(c) / 1000)
+	}
+	return seg
+}
+
+// appSeg builds an application-side compute segment over the app's own
+// working set.
+func appSeg(name string, cycles int64, code []uint64, data []uint64) cpu.Segment {
+	return cpu.Segment{
+		Name:         name,
+		BaseCycles:   cycles,
+		Instructions: cycles * 55 / 100,
+		DataRefs:     cycles / 4,
+		CodePages:    code,
+		DataPages:    data,
+	}
+}
+
+// pageRange allocates a contiguous page-id range.
+func pageRange(base uint64, n int) []uint64 {
+	ps := make([]uint64, n)
+	for i := range ps {
+		ps[i] = base + uint64(i)
+	}
+	return ps
+}

@@ -1,0 +1,59 @@
+package apps
+
+import (
+	"latlab/internal/kernel"
+	"latlab/internal/simtime"
+	"latlab/internal/system"
+)
+
+// Echo is the paper's Fig. 1 validation microbenchmark: "a program that
+// waits for input from the user and when the input is received, performs
+// some computation, echoes the character to the screen, and then waits
+// for the next input."
+//
+// It also performs the *conventional* measurement the paper compares
+// against: a timestamp when the program receives the character (after
+// GetMessage returns — the getchar() analog) and another after the echo.
+// The difference between the idle-loop latency and these in-application
+// timestamps is the system time spent in interrupt handling and
+// rescheduling before control returns to the program.
+type Echo struct {
+	sys    *system.System
+	thread *kernel.Thread
+	// Conventional holds the in-application measurements, one per
+	// keystroke.
+	Conventional []simtime.Duration
+}
+
+// NewEcho spawns the echo application; computeCycles is the per-keystroke
+// "some computation" (Fig. 1's run shows ≈9.76 ms of total handling).
+func NewEcho(sys *system.System, computeCycles int64) *Echo {
+	e := &Echo{sys: sys}
+	code := pageRange(310, 3)
+	data := pageRange(1310, 2)
+	work := appSeg("echo-work", computeCycles, code, data)
+	qs := queueSyncSeg(sys.P)
+	freq := sys.K.CPU().Freq
+	e.thread = sys.SpawnApp("echo", func(tc *kernel.TC) {
+		sys.Win.BindApp(code)
+		for {
+			m := tc.GetMessage()
+			switch m.Kind {
+			case kernel.WMQuit:
+				return
+			case kernel.WMQueueSync:
+				tc.Compute(qs)
+			case kernel.WMChar, kernel.WMKeyDown:
+				t0 := tc.Cycles()
+				tc.Compute(work)
+				sys.Win.TextOut(tc, 1)
+				t1 := tc.Cycles()
+				e.Conventional = append(e.Conventional, freq.DurationOf(t1-t0))
+			}
+		}
+	})
+	return e
+}
+
+// Thread returns the application's main thread.
+func (e *Echo) Thread() *kernel.Thread { return e.thread }

@@ -1,0 +1,217 @@
+package core
+
+import "latlab/internal/simtime"
+
+// Phase classifies an interval of a user session (paper §2.3).
+type Phase uint8
+
+// Phases.
+const (
+	// Think: the user is neither making requests nor waiting — CPU idle,
+	// message queue empty, no synchronous I/O outstanding.
+	Think Phase = iota
+	// Wait: the system is responding to a request the user is waiting
+	// for — the CPU is busy, or input is queued, or synchronous I/O is
+	// pending. Per the paper, we assume the user waits for every event.
+	Wait
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	if p == Think {
+		return "think"
+	}
+	return "wait"
+}
+
+// PhaseChange is one FSM transition.
+type PhaseChange struct {
+	To Phase
+	At simtime.Time
+}
+
+// FSM is the think-time/wait-time state machine of the paper's Fig. 2.
+// Its inputs are the three observables the paper identifies: CPU state
+// (busy/idle), message-queue state (empty/non-empty), and outstanding
+// synchronous I/O. Asynchronous I/O is assumed to be background activity
+// and is not an input.
+//
+// The paper notes that full implementation "requires additional system
+// support for monitoring I/O and message queue state transitions"; the
+// simulated kernel provides exactly those hooks, so latlab implements the
+// complete FSM.
+type FSM struct {
+	cpuBusy  bool
+	queueLen int
+	syncIO   int
+
+	cur         Phase
+	since       simtime.Time
+	transitions []PhaseChange
+	think       simtime.Duration
+	wait        simtime.Duration
+}
+
+// NewFSM returns an FSM in the Think state at time 0.
+func NewFSM() *FSM {
+	return &FSM{cur: Think}
+}
+
+// phase computes the state for the current inputs.
+func (f *FSM) phase() Phase {
+	if f.cpuBusy || f.queueLen > 0 || f.syncIO > 0 {
+		return Wait
+	}
+	return Think
+}
+
+// SetCPU updates the CPU input at time now.
+func (f *FSM) SetCPU(busy bool, now simtime.Time) {
+	f.advance(now)
+	f.cpuBusy = busy
+	f.settle(now)
+}
+
+// SetQueue updates the message-queue length input at time now.
+func (f *FSM) SetQueue(n int, now simtime.Time) {
+	if n < 0 {
+		panic("core: negative queue length")
+	}
+	f.advance(now)
+	f.queueLen = n
+	f.settle(now)
+}
+
+// SetSyncIO updates the outstanding synchronous I/O input at time now.
+func (f *FSM) SetSyncIO(n int, now simtime.Time) {
+	if n < 0 {
+		panic("core: negative sync I/O count")
+	}
+	f.advance(now)
+	f.syncIO = n
+	f.settle(now)
+}
+
+// advance accrues time in the current phase up to now.
+func (f *FSM) advance(now simtime.Time) {
+	if now < f.since {
+		panic("core: FSM time went backwards")
+	}
+	d := now.Sub(f.since)
+	if f.cur == Think {
+		f.think += d
+	} else {
+		f.wait += d
+	}
+	f.since = now
+}
+
+// settle records a transition if the inputs imply a new phase.
+// Zero-duration flaps — several inputs updated at the same instant — are
+// collapsed so the log reflects net phase changes only.
+func (f *FSM) settle(now simtime.Time) {
+	next := f.phase()
+	if next == f.cur {
+		return
+	}
+	f.cur = next
+	if n := len(f.transitions); n > 0 && f.transitions[n-1].At == now {
+		f.transitions = f.transitions[:n-1]
+		before := Think
+		if n >= 2 {
+			before = f.transitions[n-2].To
+		}
+		if before == next {
+			return // net no-op at this instant
+		}
+	}
+	f.transitions = append(f.transitions, PhaseChange{To: next, At: now})
+}
+
+// Finish accrues time through end and returns the totals.
+func (f *FSM) Finish(end simtime.Time) (think, wait simtime.Duration) {
+	f.advance(end)
+	return f.think, f.wait
+}
+
+// Phase returns the current phase.
+func (f *FSM) Phase() Phase { return f.cur }
+
+// Transitions returns the transition log.
+func (f *FSM) Transitions() []PhaseChange { return f.transitions }
+
+// ThinkTime and WaitTime return the accrued totals (excluding time since
+// the last input update; call Finish for final numbers).
+func (f *FSM) ThinkTime() simtime.Duration { return f.think }
+
+// WaitTime returns the accrued wait time.
+func (f *FSM) WaitTime() simtime.Duration { return f.wait }
+
+// DriveFSM replays a probe's logs (ground-truth CPU, posts and
+// message-API records for the given thread, sync-I/O changes) through a
+// fresh FSM and returns it, finished at end. This is the "additional
+// system support" configuration; RunFSMFromMeasurement feeds measured CPU
+// state instead.
+func DriveFSM(p *Probe, thread int, end simtime.Time) *FSM {
+	f := NewFSM()
+	var evs []ev
+	for i, b := range p.Busy {
+		evs = append(evs, ev{at: b.At, seq: i, kind: 0, b: b.Busy})
+	}
+	for i, post := range p.Posts {
+		if post.Thread == thread {
+			evs = append(evs, ev{at: post.At, seq: i, kind: 1, n: post.QueueLen})
+		}
+	}
+	for i, m := range p.Msgs {
+		if m.Thread == thread {
+			evs = append(evs, ev{at: m.Return, seq: i, kind: 1, n: m.QueueLen})
+		}
+	}
+	for i, s := range p.SyncIO {
+		evs = append(evs, ev{at: s.At, seq: i, kind: 2, n: s.Outstanding})
+	}
+	// Stable sort by time; ties resolved by original order within kind,
+	// which is already chronological, then by kind (busy first).
+	sortEvs(evs)
+	for _, e := range evs {
+		switch e.kind {
+		case 0:
+			f.SetCPU(e.b, e.at)
+		case 1:
+			f.SetQueue(e.n, e.at)
+		case 2:
+			f.SetSyncIO(e.n, e.at)
+		}
+	}
+	f.Finish(end)
+	return f
+}
+
+func sortEvs(evs []ev) {
+	// insertion sort keeps it dependency-free and stable; logs are
+	// near-sorted already.
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && less(evs[j], evs[j-1]); j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+}
+
+type ev struct {
+	at   simtime.Time
+	seq  int
+	kind int
+	b    bool
+	n    int
+}
+
+func less(a, b ev) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	return a.seq < b.seq
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"latlab/internal/cpu"
+	"latlab/internal/kernel"
+	"latlab/internal/simtime"
+)
+
+func ms(f float64) simtime.Duration { return simtime.FromMillis(f) }
+func at(f float64) simtime.Time     { return simtime.Time(simtime.FromMillis(f)) }
+
+func TestFSMBasicTransitions(t *testing.T) {
+	f := NewFSM()
+	if f.Phase() != Think {
+		t.Fatalf("initial phase = %v", f.Phase())
+	}
+	// Input arrives: queue non-empty → wait.
+	f.SetQueue(1, at(100))
+	if f.Phase() != Wait {
+		t.Fatalf("queued input should mean wait")
+	}
+	// Dequeued, CPU handling it.
+	f.SetQueue(0, at(101))
+	f.SetCPU(true, at(101))
+	if f.Phase() != Wait {
+		t.Fatalf("busy CPU should mean wait")
+	}
+	// Handling done.
+	f.SetCPU(false, at(110))
+	if f.Phase() != Think {
+		t.Fatalf("idle+empty+noio should mean think")
+	}
+	think, wait := f.Finish(at(200))
+	if think != ms(100)+ms(90) {
+		t.Fatalf("think = %v, want 190ms", think)
+	}
+	if wait != ms(10) {
+		t.Fatalf("wait = %v, want 10ms", wait)
+	}
+	// Transition log: think→wait at 100, wait→think at 110.
+	trs := f.Transitions()
+	if len(trs) != 2 || trs[0].To != Wait || trs[0].At != at(100) || trs[1].To != Think || trs[1].At != at(110) {
+		t.Fatalf("transitions = %+v", trs)
+	}
+}
+
+func TestFSMSyncIOIsWait(t *testing.T) {
+	// Paper §2.3: "synchronous I/O requests contribute to wait time, even
+	// though the CPU can be idle during these operations."
+	f := NewFSM()
+	f.SetCPU(true, at(10))
+	f.SetCPU(false, at(12))
+	f.SetSyncIO(1, at(12)) // blocked on disk, CPU idle
+	if f.Phase() != Wait {
+		t.Fatalf("sync I/O with idle CPU must be wait")
+	}
+	f.SetSyncIO(0, at(30))
+	_, wait := f.Finish(at(40))
+	if wait != ms(20) {
+		t.Fatalf("wait = %v, want 20ms (2 busy + 18 I/O)", wait)
+	}
+}
+
+func TestFSMPhaseString(t *testing.T) {
+	if Think.String() != "think" || Wait.String() != "wait" {
+		t.Fatalf("phase names wrong")
+	}
+}
+
+func TestFSMValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s should panic", name)
+			}
+		}()
+		fn()
+	}
+	f := NewFSM()
+	f.SetCPU(true, at(10))
+	mustPanic("time backwards", func() { f.SetCPU(false, at(5)) })
+	mustPanic("negative queue", func() { NewFSM().SetQueue(-1, 0) })
+	mustPanic("negative io", func() { NewFSM().SetSyncIO(-1, 0) })
+}
+
+// Property: think+wait always equals elapsed time, for any input script.
+func TestFSMConservationProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		fsm := NewFSM()
+		now := simtime.Time(0)
+		for _, s := range steps {
+			now = now.Add(simtime.Duration(s%1000) * simtime.Microsecond)
+			switch s % 3 {
+			case 0:
+				fsm.SetCPU(s%2 == 0, now)
+			case 1:
+				fsm.SetQueue(int(s%4), now)
+			case 2:
+				fsm.SetSyncIO(int(s%2), now)
+			}
+		}
+		end := now.Add(simtime.Millisecond)
+		think, wait := fsm.Finish(end)
+		return think+wait == simtime.Duration(end)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDriveFSMFromProbe(t *testing.T) {
+	// End-to-end: an app handles one keystroke with a sync read; the FSM
+	// driven from probe logs must classify wait = handling + I/O and
+	// think = the rest.
+	k := kernel.New(quietConfig())
+	defer k.Shutdown()
+	pr := AttachProbe(k)
+	file := k.Cache().AddFile("doc", 200_000, 32)
+	app := k.Spawn("app", 1, 8, func(tc *kernel.TC) {
+		for {
+			if m := tc.GetMessage(); m.Kind == kernel.WMQuit {
+				return
+			}
+			tc.Compute(cpu.Segment{Name: "w", BaseCycles: 300_000}) // 3 ms
+			tc.ReadFile(file, 0, 8)                                 // cold: tens of ms, CPU idle
+		}
+	})
+	k.At(at(50), func(simtime.Time) { k.KeyboardInterrupt(app, kernel.WMChar, 0) })
+	k.At(at(500), func(simtime.Time) { k.PostMessage(app, kernel.WMQuit, 0) })
+	end := k.Run(simtime.Time(600 * simtime.Millisecond))
+
+	f := DriveFSM(pr, app.ID(), end)
+	think, wait := f.ThinkTime(), f.WaitTime()
+	if think+wait != simtime.Duration(end) {
+		t.Fatalf("conservation: think %v + wait %v != %v", think, wait, end)
+	}
+	// Wait covers ~3ms compute + disk read (several ms) + quit handling;
+	// I/O wait must be included despite the idle CPU.
+	if wait < ms(6) || wait > ms(60) {
+		t.Fatalf("wait = %v, want handling+disk ≈ 10-40ms", wait)
+	}
+	if think < ms(500) {
+		t.Fatalf("think = %v, want the bulk of the 600ms run", think)
+	}
+}
+
+func TestSpanHelpers(t *testing.T) {
+	s := Span{Start: at(10), End: at(20)}
+	if s.Duration() != ms(10) {
+		t.Fatalf("duration = %v", s.Duration())
+	}
+	if !s.Contains(at(10)) || s.Contains(at(20)) || s.Contains(at(5)) {
+		t.Fatalf("contains wrong")
+	}
+	if !s.Overlaps(Span{Start: at(19), End: at(30)}) {
+		t.Fatalf("overlap wrong")
+	}
+	if s.Overlaps(Span{Start: at(20), End: at(30)}) {
+		t.Fatalf("touching spans do not overlap")
+	}
+}
+
+func TestGroundTruthBusySpans(t *testing.T) {
+	p := &Probe{Busy: []BusyChange{
+		{Busy: true, At: at(10)},
+		{Busy: false, At: at(15)},
+		{Busy: true, At: at(40)},
+	}}
+	spans := p.GroundTruthBusySpans(at(50))
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	if spans[0] != (Span{Start: at(10), End: at(15)}) {
+		t.Fatalf("span0 = %+v", spans[0])
+	}
+	if spans[1] != (Span{Start: at(40), End: at(50)}) {
+		t.Fatalf("open span not closed at end: %+v", spans[1])
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"latlab/internal/cpu"
+	"latlab/internal/kernel"
+	"latlab/internal/simtime"
+	"latlab/internal/trace"
+)
+
+// NominalSample is the calibrated duration of one idle-loop iteration on
+// an otherwise idle CPU: the paper's "one trace record per millisecond of
+// idle time".
+const NominalSample = simtime.Millisecond
+
+// perIterationCycles is the cost of one busy-wait iteration of the inner
+// loop (`for (i = 0; i < N; i++) ;` — a couple of instructions on a
+// Pentium).
+const perIterationCycles = 10
+
+// recordCycles is the cost of generating one trace record (timestamp read
+// plus a buffer store). The calibration compensates for it, as the paper
+// compensates for "the overhead introduced by the user-level idle loop".
+const recordCycles = 220
+
+// CalibrateN returns the iteration count N for which one loop pass plus
+// record generation consumes exactly NominalSample of CPU at the
+// machine's clock rate (paper §2.3: "We select the value of N such that
+// the inner loop takes one ms to complete when the processor is idle").
+func CalibrateN(freq simtime.Hz) int64 {
+	budget := freq.CyclesIn(NominalSample) - recordCycles
+	return budget / perIterationCycles
+}
+
+// IdleLoop is the idle-loop instrument: a lowest-priority thread running
+// the calibrated busy-wait and logging one trace record per iteration.
+// Because it runs in the idle class, it consumes only CPU time no other
+// thread wants — it *is* the system's idle loop, replaced (§2.3).
+type IdleLoop struct {
+	k      *kernel.Kernel
+	buf    *trace.Buffer
+	thread *kernel.Thread
+	n      int64
+}
+
+// StartIdleLoop calibrates and spawns the instrument with a trace buffer
+// of bufCap samples. The instrument stops when the buffer fills.
+func StartIdleLoop(k *kernel.Kernel, bufCap int) *IdleLoop {
+	il := &IdleLoop{
+		k:   k,
+		buf: trace.NewBuffer(bufCap),
+		n:   CalibrateN(k.CPU().Freq),
+	}
+	loopSeg := cpu.Segment{
+		Name:         "idle-busywait",
+		BaseCycles:   il.n * perIterationCycles,
+		Instructions: il.n * 2,
+		// The loop's working set is a handful of pages: it perturbs the
+		// memory system as little as the paper's loop did.
+		CodePages: []uint64{40},
+		DataPages: []uint64{41},
+	}
+	recordSeg := cpu.Segment{
+		Name:         "idle-record",
+		BaseCycles:   recordCycles,
+		Instructions: 60,
+		DataRefs:     30,
+		CodePages:    []uint64{40},
+		DataPages:    []uint64{42},
+	}
+	freq := k.CPU().Freq
+	il.thread = k.Spawn("idleloop", kernel.KernelProc, kernel.IdlePriority, func(tc *kernel.TC) {
+		for !il.buf.Full() {
+			start := tc.Cycles()
+			tc.Compute(loopSeg)
+			tc.Compute(recordSeg)
+			end := tc.Cycles()
+			il.buf.Append(trace.IdleSample{
+				Done:    simtime.Time(freq.DurationOf(end)),
+				Elapsed: freq.DurationOf(end - start),
+			})
+		}
+	})
+	return il
+}
+
+// Samples returns the recorded idle samples.
+func (il *IdleLoop) Samples() []trace.IdleSample { return il.buf.Samples() }
+
+// Full reports whether the trace buffer filled (the run should be sized
+// so it does not).
+func (il *IdleLoop) Full() bool { return il.buf.Full() }
+
+// Thread returns the instrument's thread.
+func (il *IdleLoop) Thread() *kernel.Thread { return il.thread }
+
+// N returns the calibrated iteration count.
+func (il *IdleLoop) N() int64 { return il.n }
+
+// BusySpans converts an idle-sample trace into maximal busy spans: runs
+// of consecutive elongated samples. threshold is the minimum stolen time
+// for a sample to count as busy; at or below it, calibration jitter would
+// masquerade as load.
+//
+// Span boundaries are known only to sample resolution (~1 ms), exactly as
+// in the paper; Stolen is exact, because the idle loop accounts for every
+// lost cycle.
+func BusySpans(samples []trace.IdleSample, threshold simtime.Duration) []BusySpan {
+	var spans []BusySpan
+	var cur *BusySpan
+	for _, s := range samples {
+		stolen := s.Stolen(NominalSample)
+		if stolen > threshold {
+			if cur == nil {
+				cur = &BusySpan{Span: Span{Start: s.Done.Add(-s.Elapsed)}, Samples: 0}
+			}
+			cur.Span.End = s.Done
+			cur.Stolen += stolen
+			cur.Samples++
+		} else if cur != nil {
+			spans = append(spans, *cur)
+			cur = nil
+		}
+	}
+	if cur != nil {
+		spans = append(spans, *cur)
+	}
+	return spans
+}
+
+// BusySpan is a maximal run of elongated idle samples.
+type BusySpan struct {
+	Span
+	// Stolen is the exact non-idle time observed within the span.
+	Stolen simtime.Duration
+	// Samples is the number of elongated samples merged.
+	Samples int
+}
+
+// DefaultBusyThreshold distinguishes real work from jitter: 20 µs of
+// stolen time within a 1 ms sample.
+const DefaultBusyThreshold = 20 * simtime.Microsecond

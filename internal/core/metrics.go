@@ -1,0 +1,99 @@
+package core
+
+import (
+	"latlab/internal/simtime"
+	"latlab/internal/stats"
+)
+
+// Report bundles the extracted events of one benchmark run with the
+// analyses of paper §3.2.
+type Report struct {
+	Events []Event
+	// Elapsed is the wall-clock span of the run (bracketed numbers in
+	// Figs. 7/8/11).
+	Elapsed simtime.Duration
+}
+
+// NewReport builds a report over events spanning elapsed time.
+func NewReport(events []Event, elapsed simtime.Duration) *Report {
+	return &Report{Events: events, Elapsed: elapsed}
+}
+
+// Latencies returns event latencies in milliseconds.
+func (r *Report) Latencies() []float64 { return Latencies(r.Events) }
+
+// TotalLatency returns the cumulative latency of all events.
+func (r *Report) TotalLatency() simtime.Duration {
+	var t simtime.Duration
+	for _, e := range r.Events {
+		t += e.Latency
+	}
+	return t
+}
+
+// Summary returns moments of the latency distribution (ms).
+func (r *Report) Summary() stats.Summary { return stats.Summarize(r.Latencies()) }
+
+// Histogram bins latencies (ms) over [lo, hi) with n bins; out-of-range
+// events land in Under/Over.
+func (r *Report) Histogram(lo, hi float64, n int) *stats.Histogram {
+	h := stats.NewHistogram(lo, hi, n)
+	for _, l := range r.Latencies() {
+		h.Add(l)
+	}
+	return h
+}
+
+// CumulativeCurve returns the cumulative-latency curve: events sorted by
+// latency, integrated.
+func (r *Report) CumulativeCurve() []stats.CumulativePoint {
+	return stats.CumulativeCurve(r.Latencies())
+}
+
+// FractionBelow returns the share of total latency from events under
+// cutoffMs (the "over 80% of the latency of Notepad is due to events
+// under 10 ms" analysis, §5.1).
+func (r *Report) FractionBelow(cutoffMs float64) float64 {
+	return stats.FractionBelow(r.Latencies(), cutoffMs)
+}
+
+// Interarrival summarizes gaps between events above thresholdMs, as in
+// the paper's Table 2.
+func (r *Report) Interarrival(thresholdMs float64) stats.Interarrival {
+	return stats.InterarrivalAbove(Starts(r.Events), r.Latencies(), thresholdMs)
+}
+
+// CountAbove returns how many events exceed thresholdMs.
+func (r *Report) CountAbove(thresholdMs float64) int {
+	n := 0
+	for _, l := range r.Latencies() {
+		if l > thresholdMs {
+			n++
+		}
+	}
+	return n
+}
+
+// PerceptionThresholdMs is the 0.1 s limit below which latency is
+// imperceptible; IrritationThresholdMs the 2 s floor of the range the
+// paper reports as invariably irritating (§3.1, citing Shneiderman).
+const (
+	PerceptionThresholdMs = 100.0
+	IrritationThresholdMs = 2000.0
+)
+
+// Irritation is the scalar user-responsiveness summation the paper
+// sketches in §3.1 (a sum over events of penalty beyond a threshold) and
+// then declines to adopt, because the threshold is event-type dependent
+// and the human-factors questions are open. It is provided for
+// completeness — with the paper's caveat attached — and weighs each
+// event by its latency in excess of the threshold, in seconds.
+func Irritation(latenciesMs []float64, thresholdMs float64) float64 {
+	var sum float64
+	for _, l := range latenciesMs {
+		if l > thresholdMs {
+			sum += (l - thresholdMs) / 1000
+		}
+	}
+	return sum
+}

@@ -1,0 +1,150 @@
+// Package cpu models the simulated processor: a 100 MHz clock, per-event
+// hardware counters, and a cost model that turns code-segment
+// descriptions into cycle counts via the memory system.
+//
+// The central idea is that latency differences between OS personalities
+// must *emerge* from mechanism — a protection-domain crossing flushes the
+// TLBs, so the next execution of the same working set misses and pays
+// penalty cycles — rather than being asserted as constants. That is what
+// lets the paper's counter-based attribution (Figs. 9-10) be reproduced
+// faithfully: the counters and the latency move together because one
+// causes the other.
+package cpu
+
+import (
+	"latlab/internal/mem"
+	"latlab/internal/simtime"
+)
+
+// Penalties holds the cycle costs of memory-system events.
+type Penalties struct {
+	// TLBMiss is the cost of one TLB miss. The paper uses 20 cycles as a
+	// lower bound for Pentium TLB-miss handling (§5.3); the hardware walk
+	// typically costs more, so the default is a little higher.
+	TLBMiss int64
+	// CacheMiss is the cost of one cache miss to DRAM.
+	CacheMiss int64
+	// SegmentLoad is the cost of one segment-register load (16-bit code).
+	SegmentLoad int64
+	// Unaligned is the extra cost of one misaligned access.
+	Unaligned int64
+	// DomainCrossing is the direct cost of a protection boundary switch,
+	// excluding the consequential TLB refill misses.
+	DomainCrossing int64
+}
+
+// DefaultPenalties returns the cost model used by all experiments.
+func DefaultPenalties() Penalties {
+	return Penalties{
+		TLBMiss:        25,
+		CacheMiss:      20,
+		SegmentLoad:    12,
+		Unaligned:      3,
+		DomainCrossing: 500,
+	}
+}
+
+// Segment describes one unit of code execution: its base cost with a warm
+// memory system, its working set, and the countable events it performs.
+// Segments are value types; the same Segment executed twice in a row is
+// cheaper the second time because its working set is resident.
+type Segment struct {
+	// Name labels the segment in traces.
+	Name string
+	// BaseCycles is the cost with all TLB and cache accesses hitting.
+	BaseCycles int64
+	// CodePages and DataPages identify the TLB working set.
+	CodePages []uint64
+	DataPages []uint64
+	// CacheChunks identifies the cache working set.
+	CacheChunks []uint64
+	// Instructions and DataRefs are counter feed only (no cost beyond
+	// BaseCycles); roughly proportional to cycles on a warm machine, as
+	// the paper observes in §4.
+	Instructions int64
+	DataRefs     int64
+	// SegmentLoads and UnalignedAccesses add per-event cost — the 16-bit
+	// code signature.
+	SegmentLoads      int64
+	UnalignedAccesses int64
+}
+
+// Scale returns a copy of s with all counts and base cycles multiplied by
+// k (working sets unchanged). Useful for building larger operations from
+// a unit descriptor.
+func (s Segment) Scale(k int64) Segment {
+	c := s
+	c.BaseCycles *= k
+	c.Instructions *= k
+	c.DataRefs *= k
+	c.SegmentLoads *= k
+	c.UnalignedAccesses *= k
+	return c
+}
+
+// CPU is the simulated processor. It is not safe for concurrent use; the
+// simulator is single-threaded.
+type CPU struct {
+	Freq      simtime.Hz
+	Mem       *mem.System
+	Penalties Penalties
+
+	counts [NumEventKinds]int64
+}
+
+// New returns a CPU at the paper's 100 MHz with the default memory system
+// and penalties.
+func New() *CPU {
+	return &CPU{
+		Freq:      simtime.CPUFrequency,
+		Mem:       mem.NewSystem(mem.DefaultConfig()),
+		Penalties: DefaultPenalties(),
+	}
+}
+
+// Count returns the accumulated count for an event kind.
+func (c *CPU) Count(k EventKind) int64 { return c.counts[k] }
+
+// Add increments an event counter by n (used by devices, e.g. the
+// interrupt controller counting Interrupts).
+func (c *CPU) Add(k EventKind, n int64) { c.counts[k] += n }
+
+// Snapshot returns a copy of all event counts.
+func (c *CPU) Snapshot() [NumEventKinds]int64 { return c.counts }
+
+// Execute runs a segment against the memory system and returns its cost.
+// It updates the event counters as a side effect.
+func (c *CPU) Execute(seg Segment) (cycles int64, d simtime.Duration) {
+	im := c.Mem.TouchCode(seg.CodePages)
+	dm := c.Mem.TouchData(seg.DataPages)
+	cm := c.Mem.TouchCache(seg.CacheChunks)
+
+	cycles = seg.BaseCycles
+	cycles += int64(im+dm) * c.Penalties.TLBMiss
+	cycles += int64(cm) * c.Penalties.CacheMiss
+	cycles += seg.SegmentLoads * c.Penalties.SegmentLoad
+	cycles += seg.UnalignedAccesses * c.Penalties.Unaligned
+
+	c.counts[Instructions] += seg.Instructions
+	c.counts[DataRefs] += seg.DataRefs
+	c.counts[ITLBMisses] += int64(im)
+	c.counts[DTLBMisses] += int64(dm)
+	c.counts[CacheMisses] += int64(cm)
+	c.counts[SegmentLoads] += seg.SegmentLoads
+	c.counts[UnalignedAccesses] += seg.UnalignedAccesses
+
+	return cycles, c.Freq.DurationOf(cycles)
+}
+
+// DomainCross models a protection-domain crossing: it flushes both TLBs
+// (Pentium behaviour), counts the event, and returns the direct cost.
+func (c *CPU) DomainCross() (cycles int64, d simtime.Duration) {
+	c.Mem.FlushTLBs()
+	c.counts[DomainCrossings]++
+	cycles = c.Penalties.DomainCrossing
+	return cycles, c.Freq.DurationOf(cycles)
+}
+
+// CycleAt returns the free-running 64-bit cycle counter value at instant
+// t. The counter ticks with time, not with work (it is the Pentium TSC).
+func (c *CPU) CycleAt(t simtime.Time) int64 { return c.Freq.CycleAt(t) }

@@ -1,0 +1,170 @@
+// Package disk models the experimental machine's SCSI disk (paper §2.1:
+// a dedicated 1 GB Fujitsu M1606SAU behind an NCR825 host adapter).
+//
+// The model is positional: a request's service time is seek (proportional
+// to cylinder distance, with a settle floor) + rotational latency
+// (deterministic pseudo-random phase) + transfer. Requests are serviced
+// one at a time from a FIFO queue, and completion is reported through a
+// callback that the kernel turns into a completion interrupt. Disk time
+// is where the paper's multi-second PowerPoint latencies (Table 1) come
+// from, so the constants are calibrated to a mid-90s 5400 RPM drive.
+package disk
+
+import (
+	"latlab/internal/rng"
+	"latlab/internal/simtime"
+)
+
+// Scheduler is the slice of the simulator the disk needs: the current
+// time and the ability to run a callback after a delay. The kernel
+// implements it.
+type Scheduler interface {
+	Now() simtime.Time
+	After(d simtime.Duration, fn func(now simtime.Time))
+}
+
+// Params describes drive geometry and speed.
+type Params struct {
+	// Blocks is the drive capacity in 512-byte blocks.
+	Blocks int64
+	// BlocksPerCylinder converts block distance to seek distance.
+	BlocksPerCylinder int64
+	// SeekSettle is the minimum cost of any seek.
+	SeekSettle simtime.Duration
+	// SeekPerCylinder is the incremental cost per cylinder crossed.
+	SeekPerCylinder simtime.Duration
+	// MaxSeek caps the seek cost (full-stroke seek).
+	MaxSeek simtime.Duration
+	// Rotation is the time of one revolution; average rotational delay
+	// is half of it.
+	Rotation simtime.Duration
+	// TransferPerBlock is the media transfer time per 512-byte block.
+	TransferPerBlock simtime.Duration
+	// ControllerOverhead is the fixed per-request command cost.
+	ControllerOverhead simtime.Duration
+}
+
+// DefaultParams approximates the Fujitsu M1606SAU: ~1 GB, 5400 RPM
+// (11.1 ms/rev), ~10 ms average seek, ~5 MB/s media rate.
+func DefaultParams() Params {
+	return Params{
+		Blocks:             2_000_000,
+		BlocksPerCylinder:  800,
+		SeekSettle:         simtime.FromMillis(1.5),
+		SeekPerCylinder:    8 * simtime.Microsecond,
+		MaxSeek:            simtime.FromMillis(18),
+		Rotation:           simtime.FromMillis(11.1),
+		TransferPerBlock:   100 * simtime.Microsecond, // 512 B / ~5 MB/s
+		ControllerOverhead: simtime.FromMillis(0.5),
+	}
+}
+
+// Op distinguishes reads from writes. The service-time model treats them
+// identically; the distinction feeds traces and counters.
+type Op uint8
+
+// Operations.
+const (
+	Read Op = iota
+	Write
+)
+
+// Request is one disk operation. Done is invoked exactly once, at
+// completion time, from simulator context.
+type Request struct {
+	Op     Op
+	Block  int64
+	Blocks int64
+	Done   func(now simtime.Time)
+}
+
+// Disk is the drive model. Not safe for concurrent use.
+type Disk struct {
+	params Params
+	sched  Scheduler
+	rand   *rng.Source
+
+	head    int64 // current block position
+	busy    bool
+	queue   []Request
+	served  int64
+	busyFor simtime.Duration
+}
+
+// New creates a disk with the given parameters, driven by sched. The seed
+// fixes the rotational-phase sequence so runs are reproducible.
+func New(params Params, sched Scheduler, seed uint64) *Disk {
+	return &Disk{params: params, sched: sched, rand: rng.New(seed)}
+}
+
+// Params returns the drive parameters.
+func (d *Disk) Params() Params { return d.params }
+
+// QueueLen returns the number of requests waiting (excluding the one in
+// service).
+func (d *Disk) QueueLen() int { return len(d.queue) }
+
+// Busy reports whether a request is in service.
+func (d *Disk) Busy() bool { return d.busy }
+
+// Served returns the number of completed requests.
+func (d *Disk) Served() int64 { return d.served }
+
+// BusyTime returns cumulative service time.
+func (d *Disk) BusyTime() simtime.Duration { return d.busyFor }
+
+// ServiceTime computes the time to service a request from the current
+// head position, without side effects on queue state. Exposed for tests
+// and capacity planning.
+func (d *Disk) ServiceTime(r Request, rotFrac float64) simtime.Duration {
+	dist := r.Block - d.head
+	if dist < 0 {
+		dist = -dist
+	}
+	cyl := dist / d.params.BlocksPerCylinder
+	seek := simtime.Duration(0)
+	if cyl > 0 {
+		seek = d.params.SeekSettle + simtime.Duration(cyl)*d.params.SeekPerCylinder
+		if seek > d.params.MaxSeek {
+			seek = d.params.MaxSeek
+		}
+	}
+	rot := simtime.Duration(rotFrac * float64(d.params.Rotation))
+	xfer := simtime.Duration(r.Blocks) * d.params.TransferPerBlock
+	return d.params.ControllerOverhead + seek + rot + xfer
+}
+
+// Submit enqueues a request. It panics on malformed requests — a
+// simulation that issues bad I/O is broken, not unlucky.
+func (d *Disk) Submit(r Request) {
+	if r.Done == nil {
+		panic("disk: request without completion callback")
+	}
+	if r.Blocks <= 0 || r.Block < 0 || r.Block+r.Blocks > d.params.Blocks {
+		panic("disk: request outside device")
+	}
+	d.queue = append(d.queue, r)
+	if !d.busy {
+		d.startNext()
+	}
+}
+
+func (d *Disk) startNext() {
+	if len(d.queue) == 0 {
+		d.busy = false
+		return
+	}
+	r := d.queue[0]
+	d.queue = d.queue[1:]
+	d.busy = true
+	svc := d.ServiceTime(r, d.rand.Float64())
+	d.busyFor += svc
+	d.head = r.Block + r.Blocks
+	d.sched.After(svc, func(now simtime.Time) {
+		d.served++
+		// Start the next transfer before delivering the completion so a
+		// Done callback that submits more I/O sees a consistent queue.
+		d.startNext()
+		r.Done(now)
+	})
+}

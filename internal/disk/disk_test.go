@@ -1,0 +1,201 @@
+package disk
+
+import (
+	"testing"
+	"testing/quick"
+
+	"latlab/internal/eventq"
+	"latlab/internal/rng"
+	"latlab/internal/simtime"
+)
+
+// rngNew and quickCheck keep the property test terse.
+func rngNew(seed uint64) *rng.Source { return rng.New(seed) }
+
+func quickCheck(f any, max int) error {
+	return quick.Check(f, &quick.Config{MaxCount: max})
+}
+
+// fakeSched drives the disk with a standalone event queue.
+type fakeSched struct {
+	now simtime.Time
+	q   eventq.Queue
+}
+
+func (s *fakeSched) Now() simtime.Time { return s.now }
+func (s *fakeSched) After(d simtime.Duration, fn func(simtime.Time)) {
+	s.q.Schedule(s.now.Add(d), fn)
+}
+func (s *fakeSched) run() {
+	for {
+		e := s.q.Pop()
+		if e == nil {
+			return
+		}
+		s.now = e.At()
+		e.Fire(s.now)
+	}
+}
+
+func TestServiceTimeComponents(t *testing.T) {
+	s := &fakeSched{}
+	d := New(DefaultParams(), s, 1)
+	p := d.Params()
+
+	// Sequential read at the head position: no seek.
+	r := Request{Op: Read, Block: 0, Blocks: 8, Done: func(simtime.Time) {}}
+	got := d.ServiceTime(r, 0)
+	want := p.ControllerOverhead + 8*p.TransferPerBlock
+	if got != want {
+		t.Fatalf("no-seek service = %v, want %v", got, want)
+	}
+
+	// Far seek saturates at MaxSeek.
+	far := Request{Op: Read, Block: p.Blocks - 8, Blocks: 8, Done: func(simtime.Time) {}}
+	got = d.ServiceTime(far, 0.5)
+	want = p.ControllerOverhead + p.MaxSeek + simtime.Duration(0.5*float64(p.Rotation)) + 8*p.TransferPerBlock
+	if got != want {
+		t.Fatalf("far-seek service = %v, want %v", got, want)
+	}
+	if got < simtime.FromMillis(20) || got > simtime.FromMillis(30) {
+		t.Fatalf("full-stroke read should be a few tens of ms, got %v", got)
+	}
+}
+
+func TestFIFOCompletionOrder(t *testing.T) {
+	s := &fakeSched{}
+	d := New(DefaultParams(), s, 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		d.Submit(Request{Op: Read, Block: int64(i) * 100_000, Blocks: 4,
+			Done: func(simtime.Time) { order = append(order, i) }})
+	}
+	if d.QueueLen() != 4 || !d.Busy() {
+		t.Fatalf("queue/busy = %d/%v, want 4/true", d.QueueLen(), d.Busy())
+	}
+	s.run()
+	if len(order) != 5 {
+		t.Fatalf("completions = %d, want 5", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("completion order %v, not FIFO", order)
+		}
+	}
+	if d.Served() != 5 || d.Busy() || d.QueueLen() != 0 {
+		t.Fatalf("final state wrong: served=%d busy=%v q=%d", d.Served(), d.Busy(), d.QueueLen())
+	}
+	if d.BusyTime() <= 0 {
+		t.Fatalf("busy time not accumulated")
+	}
+}
+
+func TestCompletionTimeAdvances(t *testing.T) {
+	s := &fakeSched{}
+	d := New(DefaultParams(), s, 1)
+	var doneAt simtime.Time
+	d.Submit(Request{Op: Write, Block: 500_000, Blocks: 16, Done: func(now simtime.Time) { doneAt = now }})
+	s.run()
+	if doneAt <= 0 {
+		t.Fatalf("completion time = %v, should be after submission", doneAt)
+	}
+	// A single mid-disk request on an idle drive: ms-scale, not µs or s.
+	if doneAt < simtime.Time(simtime.Millisecond) || doneAt > simtime.Time(100*simtime.Millisecond) {
+		t.Fatalf("completion at %v, outside plausible range", doneAt)
+	}
+}
+
+func TestResubmitFromCompletion(t *testing.T) {
+	// A Done callback that submits another request must not deadlock or
+	// lose the request.
+	s := &fakeSched{}
+	d := New(DefaultParams(), s, 1)
+	completions := 0
+	d.Submit(Request{Op: Read, Block: 0, Blocks: 1, Done: func(simtime.Time) {
+		completions++
+		d.Submit(Request{Op: Read, Block: 1000, Blocks: 1, Done: func(simtime.Time) {
+			completions++
+		}})
+	}})
+	s.run()
+	if completions != 2 {
+		t.Fatalf("completions = %d, want 2", completions)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() simtime.Time {
+		s := &fakeSched{}
+		d := New(DefaultParams(), s, 42)
+		var last simtime.Time
+		for i := 0; i < 20; i++ {
+			d.Submit(Request{Op: Read, Block: int64(i*37) % 1_000_000 * 2, Blocks: 8,
+				Done: func(now simtime.Time) { last = now }})
+		}
+		s.run()
+		return last
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed produced different schedules: %v vs %v", a, b)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := &fakeSched{}
+	d := New(DefaultParams(), s, 1)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s should panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("nil done", func() { d.Submit(Request{Block: 0, Blocks: 1}) })
+	mustPanic("zero blocks", func() {
+		d.Submit(Request{Block: 0, Blocks: 0, Done: func(simtime.Time) {}})
+	})
+	mustPanic("past end", func() {
+		d.Submit(Request{Block: d.Params().Blocks, Blocks: 1, Done: func(simtime.Time) {}})
+	})
+}
+
+// Property: every submitted request completes exactly once, in FIFO
+// order, with strictly increasing completion times.
+func TestDiskFIFOProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		s := &fakeSched{}
+		d := New(DefaultParams(), s, seed)
+		r := rngNew(seed)
+		var order []int
+		var times []simtime.Time
+		for i := 0; i < n; i++ {
+			i := i
+			block := int64(r.Intn(1_900_000))
+			d.Submit(Request{Op: Read, Block: block, Blocks: int64(r.Intn(16)) + 1,
+				Done: func(now simtime.Time) {
+					order = append(order, i)
+					times = append(times, now)
+				}})
+		}
+		s.run()
+		if len(order) != n || d.Served() != int64(n) {
+			return false
+		}
+		for i := range order {
+			if order[i] != i {
+				return false
+			}
+			if i > 0 && times[i] <= times[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quickCheck(f, 50); err != nil {
+		t.Fatal(err)
+	}
+}

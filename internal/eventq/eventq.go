@@ -1,0 +1,132 @@
+// Package eventq implements the discrete-event queue at the heart of the
+// latlab simulator.
+//
+// Events are ordered by (time, sequence number): two events scheduled for
+// the same instant fire in the order they were scheduled, which keeps the
+// whole simulation deterministic. Cancellation is lazy — a cancelled event
+// stays in the heap but is skipped when popped — so cancel is O(1) and the
+// queue never needs to locate arbitrary entries.
+package eventq
+
+import (
+	"container/heap"
+
+	"latlab/internal/simtime"
+)
+
+// Event is a scheduled callback. The zero value is not usable; obtain
+// events from Queue.Schedule.
+type Event struct {
+	at        simtime.Time
+	seq       uint64
+	index     int // heap index, -1 when popped
+	cancelled bool
+	fn        func(now simtime.Time)
+}
+
+// At returns the instant the event is scheduled to fire.
+func (e *Event) At() simtime.Time { return e.at }
+
+// Cancelled reports whether Cancel has been called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Cancel marks the event so it will be skipped when it reaches the head of
+// the queue. Cancelling an already-fired or already-cancelled event is a
+// no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Queue is a deterministic priority queue of events. The zero value is an
+// empty queue ready for use. Queue is not safe for concurrent use; the
+// simulator is single-threaded by construction.
+type Queue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// Schedule enqueues fn to run at instant at and returns a handle that can
+// cancel it. Scheduling in the past is the caller's bug and panics, since
+// it would silently corrupt causality.
+func (q *Queue) Schedule(at simtime.Time, fn func(now simtime.Time)) *Event {
+	if fn == nil {
+		panic("eventq: nil event function")
+	}
+	e := &Event{at: at, seq: q.seq, fn: fn}
+	q.seq++
+	heap.Push(&q.h, e)
+	return e
+}
+
+// Len returns the number of events still enqueued, including cancelled
+// events that have not yet been skipped.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Empty reports whether no live events remain. It discards any cancelled
+// events at the head of the queue.
+func (q *Queue) Empty() bool {
+	q.skipCancelled()
+	return len(q.h) == 0
+}
+
+// NextTime returns the firing time of the earliest live event, or
+// simtime.Never when the queue is empty.
+func (q *Queue) NextTime() simtime.Time {
+	q.skipCancelled()
+	if len(q.h) == 0 {
+		return simtime.Never
+	}
+	return q.h[0].at
+}
+
+// Pop removes and returns the earliest live event, or nil when the queue
+// is empty.
+func (q *Queue) Pop() *Event {
+	q.skipCancelled()
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*Event)
+}
+
+// Fire invokes the event's callback at instant now. It is split from Pop
+// so the simulator can update its clock between the two.
+func (e *Event) Fire(now simtime.Time) { e.fn(now) }
+
+func (q *Queue) skipCancelled() {
+	for len(q.h) > 0 && q.h[0].cancelled {
+		heap.Pop(&q.h)
+	}
+}
+
+// eventHeap implements heap.Interface ordered by (at, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

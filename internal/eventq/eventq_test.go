@@ -1,0 +1,199 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"latlab/internal/simtime"
+)
+
+func TestOrdering(t *testing.T) {
+	var q Queue
+	var got []int
+	q.Schedule(30, func(simtime.Time) { got = append(got, 3) })
+	q.Schedule(10, func(simtime.Time) { got = append(got, 1) })
+	q.Schedule(20, func(simtime.Time) { got = append(got, 2) })
+	for !q.Empty() {
+		e := q.Pop()
+		e.Fire(e.At())
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("fired order %v, want [1 2 3]", got)
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		q.Schedule(42, func(simtime.Time) { got = append(got, i) })
+	}
+	for !q.Empty() {
+		e := q.Pop()
+		e.Fire(e.At())
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events fired out of schedule order at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	fired := false
+	e := q.Schedule(10, func(simtime.Time) { fired = true })
+	q.Schedule(20, func(simtime.Time) {})
+	e.Cancel()
+	if !e.Cancelled() {
+		t.Fatalf("Cancelled() = false after Cancel")
+	}
+	if got := q.NextTime(); got != 20 {
+		t.Fatalf("NextTime = %v, want 20 (cancelled head skipped)", got)
+	}
+	if q.Pop().At() != 20 {
+		t.Fatalf("Pop returned wrong event")
+	}
+	if fired {
+		t.Fatalf("cancelled event fired")
+	}
+	if !q.Empty() {
+		t.Fatalf("queue should be empty")
+	}
+}
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue
+	if q.Pop() != nil {
+		t.Fatalf("Pop on empty queue should return nil")
+	}
+	if q.NextTime() != simtime.Never {
+		t.Fatalf("NextTime on empty queue should be Never")
+	}
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatalf("zero value should be empty")
+	}
+}
+
+func TestNilFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Schedule(nil) should panic")
+		}
+	}()
+	var q Queue
+	q.Schedule(0, nil)
+}
+
+func TestScheduleDuringFire(t *testing.T) {
+	// Events scheduled from inside a callback for the same instant must
+	// fire after the current event but before later instants.
+	var q Queue
+	var got []string
+	q.Schedule(10, func(now simtime.Time) {
+		got = append(got, "a")
+		q.Schedule(now, func(simtime.Time) { got = append(got, "a-child") })
+	})
+	q.Schedule(20, func(simtime.Time) { got = append(got, "b") })
+	for !q.Empty() {
+		e := q.Pop()
+		e.Fire(e.At())
+	}
+	want := []string{"a", "a-child", "b"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: popping a randomly scheduled set of events yields them in
+// non-decreasing time order, and within equal times, in scheduling order.
+func TestPopOrderProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		var q Queue
+		type rec struct {
+			at  simtime.Time
+			seq int
+		}
+		var scheduled []rec
+		var popped []rec
+		for i := 0; i < int(n); i++ {
+			at := simtime.Time(r.Intn(16)) // small range to force ties
+			i := i
+			q.Schedule(at, func(simtime.Time) {})
+			scheduled = append(scheduled, rec{at, i})
+			_ = i
+		}
+		for {
+			e := q.Pop()
+			if e == nil {
+				break
+			}
+			popped = append(popped, rec{e.At(), 0})
+		}
+		if len(popped) != len(scheduled) {
+			return false
+		}
+		sort.SliceStable(scheduled, func(i, j int) bool { return scheduled[i].at < scheduled[j].at })
+		for i := range popped {
+			if popped[i].at != scheduled[i].at {
+				return false
+			}
+			if i > 0 && popped[i].at < popped[i-1].at {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling an arbitrary subset never perturbs the relative
+// order of the survivors.
+func TestCancelSubsetProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		var q Queue
+		var events []*Event
+		var keepAt []simtime.Time
+		for i := 0; i < int(n); i++ {
+			at := simtime.Time(r.Intn(1000))
+			events = append(events, q.Schedule(at, func(simtime.Time) {}))
+		}
+		for _, e := range events {
+			if r.Intn(2) == 0 {
+				e.Cancel()
+			} else {
+				keepAt = append(keepAt, e.At())
+			}
+		}
+		sort.Slice(keepAt, func(i, j int) bool { return keepAt[i] < keepAt[j] })
+		var got []simtime.Time
+		for {
+			e := q.Pop()
+			if e == nil {
+				break
+			}
+			got = append(got, e.At())
+		}
+		if len(got) != len(keepAt) {
+			return false
+		}
+		for i := range got {
+			if got[i] != keepAt[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,212 @@
+// Package experiments reproduces every table and figure in the paper's
+// evaluation. Each experiment is a Spec in the registry; running one
+// boots the personas it needs, drives the workload, measures it with the
+// internal/core methodology, and returns a typed Result that can render
+// itself in the paper's format (via internal/viz) and that tests and
+// benchmarks assert shape properties against.
+//
+// The per-experiment index lives in DESIGN.md; measured-vs-paper numbers
+// are recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"latlab/internal/core"
+	"latlab/internal/kernel"
+	"latlab/internal/persona"
+	"latlab/internal/simtime"
+	"latlab/internal/system"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Seed drives every stochastic model (typist pacing, disk rotation).
+	Seed uint64
+	// Quick trims workload sizes so the full suite stays fast in tests;
+	// benchmarks and the CLI run the paper-sized workloads.
+	Quick bool
+}
+
+// DefaultConfig returns the paper-sized configuration.
+func DefaultConfig() Config { return Config{Seed: 1996} }
+
+// Result is a rendered experiment outcome.
+type Result interface {
+	// ExperimentID returns the registry id ("fig7", "table1", ...).
+	ExperimentID() string
+	// Render writes the paper-style presentation.
+	Render(w io.Writer) error
+}
+
+// EventsExporter is implemented by results that can export their raw
+// per-event data (for external plotting); cmd/latbench writes one CSV
+// per named event set when -csv-dir is given.
+type EventsExporter interface {
+	// EventSets returns named event lists, e.g. {"nt40": [...]}.
+	EventSets() map[string][]core.Event
+}
+
+// ProfileExporter is implemented by results that can export utilization
+// profiles (for external plotting).
+type ProfileExporter interface {
+	// ProfileSets returns named profiles, e.g. {"nt40-full": [...]}.
+	ProfileSets() map[string][]core.ProfilePoint
+}
+
+// ReportExporter is implemented by results built on latency reports;
+// cmd/latbench renders their histograms and cumulative curves as SVG.
+type ReportExporter interface {
+	// Reports returns named reports, e.g. {"Windows NT 4.0": ...}.
+	Reports() map[string]*core.Report
+}
+
+// Spec describes one registered experiment.
+type Spec struct {
+	// ID is the registry key, matching the paper artifact ("fig1"..).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Paper cites the reproduced artifact.
+	Paper string
+	// Run executes the experiment.
+	Run func(cfg Config) Result
+}
+
+var registry []Spec
+
+func register(s Spec) {
+	registry = append(registry, s)
+}
+
+// All returns every registered experiment in paper order.
+func All() []Spec {
+	out := append([]Spec(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool { return order(out[i].ID) < order(out[j].ID) })
+	return out
+}
+
+// order fixes presentation order to follow the paper.
+func order(id string) int {
+	for i, v := range []string{"fig1", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "table1", "fig9", "fig10", "fig11", "table2", "fig12", "s54",
+		"ext-batching", "ext-thinkwait", "ext-metric", "ext-slowcpu", "ext-interrupts"} {
+		if v == id {
+			return i
+		}
+	}
+	return 99
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Spec, bool) {
+	for _, s := range registry {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// rig is a booted, instrumented machine.
+type rig struct {
+	sys *system.System
+	pr  *core.Probe
+	il  *core.IdleLoop
+}
+
+// newRig boots persona p with probe and idle-loop instrumentation sized
+// for runSeconds of simulated time.
+func newRig(p persona.P, runSeconds int) *rig {
+	sys := system.Boot(p)
+	pr := core.AttachProbe(sys.K)
+	il := core.StartIdleLoop(sys.K, runSeconds*1100+10_000)
+	return &rig{sys: sys, pr: pr, il: il}
+}
+
+func (r *rig) shutdown() { r.sys.Shutdown() }
+
+// extract pulls the events of thread from the instrumentation.
+func (r *rig) extract(t *kernel.Thread, strip bool) []core.Event {
+	return core.Extract(r.il.Samples(), r.pr.Msgs, core.ExtractOptions{
+		Thread:         t.ID(),
+		StripQueueSync: strip,
+	})
+}
+
+// chainStep is one completion-paced input: the driver waits for the
+// application to go quiescent, pauses for think time, then injects —
+// how a scripted "user" (or Microsoft Test's wait-for-idle) really paces
+// a task like the paper's PowerPoint scenario.
+type chainStep struct {
+	kind  kernel.MsgKind
+	param int64
+	sync  bool
+	think simtime.Duration
+}
+
+// step builds a chainStep.
+func step(kind kernel.MsgKind, param int64, think simtime.Duration) chainStep {
+	return chainStep{kind: kind, param: param, think: think}
+}
+
+// driveChain installs a completion-paced driver for steps on sys. The
+// final completion time is written to *done (simtime zero until then).
+func driveChain(sys *system.System, steps []chainStep, sync bool, done *simtime.Time) {
+	const poll = 20 * simtime.Millisecond
+	quiescent := func() bool {
+		f := sys.Focus()
+		return f.State() == kernel.StateBlockedMsg && f.QueueLen() == 0 &&
+			sys.K.SyncIOOutstanding() == 0
+	}
+	var issue func(i int)
+	waitQuiet := func(next func(now simtime.Time)) {
+		var check func(now simtime.Time)
+		check = func(now simtime.Time) {
+			if quiescent() {
+				next(now)
+				return
+			}
+			sys.K.At(now.Add(poll), check)
+		}
+		sys.K.At(sys.K.Now().Add(poll), check)
+	}
+	issue = func(i int) {
+		if i >= len(steps) {
+			*done = sys.K.Now()
+			return
+		}
+		st := steps[i]
+		sys.K.At(sys.K.Now().Add(st.think), func(now simtime.Time) {
+			sys.Inject(st.kind, st.param, sync || st.sync)
+			waitQuiet(func(simtime.Time) { issue(i + 1) })
+		})
+	}
+	waitQuiet(func(simtime.Time) { issue(0) })
+}
+
+// runChain drives steps to completion (or the deadline) and returns the
+// completion time.
+func runChain(sys *system.System, steps []chainStep, sync bool, deadline simtime.Time) simtime.Time {
+	var done simtime.Time
+	driveChain(sys, steps, sync, &done)
+	for sys.K.Now() < deadline && done == 0 {
+		sys.K.RunFor(500 * simtime.Millisecond)
+	}
+	if done == 0 {
+		panic(fmt.Sprintf("experiments: chain did not complete by %v", deadline))
+	}
+	// Trailing time so the last event's quiescence is recorded.
+	sys.K.RunFor(2 * simtime.Second)
+	return done
+}
+
+// fmtMs formats a millisecond value compactly.
+func fmtMs(ms float64) string {
+	if ms >= 1000 {
+		return fmt.Sprintf("%.3fs", ms/1000)
+	}
+	return fmt.Sprintf("%.2fms", ms)
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"latlab/internal/apps"
+	"latlab/internal/kernel"
+	"latlab/internal/persona"
+	"latlab/internal/simtime"
+)
+
+func TestFmtMs(t *testing.T) {
+	if got := fmtMs(2.345); got != "2.35ms" {
+		t.Fatalf("fmtMs(2.345) = %q", got)
+	}
+	if got := fmtMs(10760); got != "10.760s" {
+		t.Fatalf("fmtMs(10760) = %q", got)
+	}
+}
+
+func TestRunChainDeadlinePanics(t *testing.T) {
+	r := newRig(persona.NT40(), 10)
+	defer r.shutdown()
+	apps.NewNotepad(r.sys, 250_000)
+	defer func() {
+		if rec := recover(); rec == nil {
+			t.Fatalf("expected deadline panic")
+		} else if !strings.Contains(rec.(string), "did not complete") {
+			t.Fatalf("unexpected panic: %v", rec)
+		}
+	}()
+	// A step that never quiesces in time: inject a command the notepad
+	// ignores but give an impossible deadline (now).
+	runChain(r.sys, []chainStep{step(kernel.WMChar, 'a', simtime.Second)}, false, r.sys.K.Now())
+}
+
+func TestChainPacingWaitsForCompletion(t *testing.T) {
+	// Each chain step must start at least `think` after the previous
+	// event's completion.
+	r := newRig(persona.NT40(), 30)
+	defer r.shutdown()
+	n := apps.NewNotepad(r.sys, 250_000)
+	think := 300 * simtime.Millisecond
+	steps := []chainStep{
+		step(kernel.WMChar, 'a', think),
+		step(kernel.WMChar, 'b', think),
+		step(kernel.WMChar, 'c', think),
+	}
+	runChain(r.sys, steps, false, simtime.Time(20*simtime.Second))
+	events := r.extract(n.Thread(), false)
+	if len(events) != 3 {
+		t.Fatalf("events = %d", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		gap := events[i].Enqueued.Sub(events[i-1].End)
+		if gap < think-50*simtime.Millisecond {
+			t.Fatalf("step %d issued %v after completion, want ≥%v", i, gap, think)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package input
+
+import (
+	"testing"
+
+	"latlab/internal/kernel"
+	"latlab/internal/persona"
+	"latlab/internal/simtime"
+	"latlab/internal/system"
+)
+
+func TestTypeTextFixedPace(t *testing.T) {
+	evs := TypeText(simtime.Time(simtime.Second), "ab\bc", 120*simtime.Millisecond)
+	if len(evs) != 4 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].Kind != kernel.WMChar || evs[0].Param != 'a' {
+		t.Fatalf("first event = %+v", evs[0])
+	}
+	if evs[2].Kind != kernel.WMKeyDown || evs[2].Param != VKBack {
+		t.Fatalf("backspace = %+v", evs[2])
+	}
+	if gap := evs[1].At.Sub(evs[0].At); gap != 120*simtime.Millisecond {
+		t.Fatalf("pace = %v", gap)
+	}
+}
+
+func TestKeyDownsAndClickAndCommand(t *testing.T) {
+	kd := KeyDowns(0, VKPageDown, 3, simtime.Second)
+	if len(kd) != 3 || kd[2].At != simtime.Time(2*simtime.Second) || kd[0].Param != VKPageDown {
+		t.Fatalf("keydowns = %+v", kd)
+	}
+	cl := Click(simtime.Time(simtime.Second), 100*simtime.Millisecond)
+	if len(cl) != 2 || cl[0].Kind != kernel.WMMouseDown || cl[1].Kind != kernel.WMMouseUp {
+		t.Fatalf("click = %+v", cl)
+	}
+	if cl[1].At.Sub(cl[0].At) != 100*simtime.Millisecond {
+		t.Fatalf("hold = %v", cl[1].At.Sub(cl[0].At))
+	}
+	cmd := Command(5, 42)
+	if cmd.Kind != kernel.WMCommand || cmd.Param != 42 {
+		t.Fatalf("command = %+v", cmd)
+	}
+}
+
+func TestScriptHelpers(t *testing.T) {
+	s := &Script{Events: []Event{{At: 30}, {At: 10}, {At: 20}}}
+	if s.End() != 30 || s.Len() != 3 {
+		t.Fatalf("end/len = %v/%d", s.End(), s.Len())
+	}
+	s.Sort()
+	if s.Events[0].At != 10 || s.Events[2].At != 30 {
+		t.Fatalf("sort failed: %+v", s.Events)
+	}
+	empty := &Script{}
+	if empty.End() != 0 {
+		t.Fatalf("empty end = %v", empty.End())
+	}
+}
+
+func TestTypistRealism(t *testing.T) {
+	ty := NewTypist(7, 100) // 100 wpm → mean 120 ms/keystroke
+	text := SampleText(500)
+	evs := ty.Type(0, text)
+	if len(evs) != 500 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	var gaps []simtime.Duration
+	for i := 1; i < len(evs); i++ {
+		g := evs[i].At.Sub(evs[i-1].At)
+		if g < 40*simtime.Millisecond {
+			t.Fatalf("gap %d = %v, impossibly fast for a human", i, g)
+		}
+		gaps = append(gaps, g)
+	}
+	var total simtime.Duration
+	distinct := map[simtime.Duration]bool{}
+	for _, g := range gaps {
+		total += g
+		distinct[g] = true
+	}
+	mean := total / simtime.Duration(len(gaps))
+	// Mean inter-key should be near 120 ms plus pause inflation — well
+	// inside [110, 260] ms.
+	if mean < 110*simtime.Millisecond || mean > 260*simtime.Millisecond {
+		t.Fatalf("mean gap = %v, want ≈120-250ms at 100wpm", mean)
+	}
+	if len(distinct) < 100 {
+		t.Fatalf("only %d distinct gaps; typist should jitter", len(distinct))
+	}
+}
+
+func TestTypistDeterministic(t *testing.T) {
+	a := NewTypist(42, 90).Type(0, SampleText(200))
+	b := NewTypist(42, 90).Type(0, SampleText(200))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	c := NewTypist(43, 90).Type(0, SampleText(200))
+	same := 0
+	for i := range a {
+		if a[i].At == c[i].At {
+			same++
+		}
+	}
+	if same > len(a)/2 {
+		t.Fatalf("different seeds too similar: %d/%d", same, len(a))
+	}
+}
+
+func TestSampleText(t *testing.T) {
+	s := SampleText(1300)
+	if len(s) != 1300 {
+		t.Fatalf("len = %d", len(s))
+	}
+}
+
+func TestScriptInstallDelivers(t *testing.T) {
+	sys := system.Boot(persona.NT40())
+	defer sys.Shutdown()
+	var got []kernel.Msg
+	sys.SpawnApp("app", func(tc *kernel.TC) {
+		for {
+			m := tc.GetMessage()
+			if m.Kind == kernel.WMQuit {
+				return
+			}
+			got = append(got, m)
+		}
+	})
+	s := &Script{Events: TypeText(simtime.Time(10*simtime.Millisecond), "hi", 50*simtime.Millisecond), QueueSync: true}
+	s.Install(sys)
+	sys.K.At(simtime.Time(500*simtime.Millisecond), func(simtime.Time) {
+		sys.K.PostMessage(sys.Focus(), kernel.WMQuit, 0)
+	})
+	sys.K.Run(simtime.Time(simtime.Second))
+	// 2 chars × (char + queuesync).
+	if len(got) != 4 {
+		t.Fatalf("messages = %d, want 4", len(got))
+	}
+	if got[0].Kind != kernel.WMChar || got[1].Kind != kernel.WMQueueSync {
+		t.Fatalf("order: %v %v", got[0].Kind, got[1].Kind)
+	}
+}

@@ -1,0 +1,92 @@
+package kernel
+
+import "latlab/internal/simtime"
+
+// MsgKind identifies a message type. The Win32-style constants live here
+// because the kernel's queueing layer, the monitor, and the applications
+// all need them.
+type MsgKind int
+
+// Message kinds. Values are arbitrary but stable; they appear in traces.
+const (
+	// WMNull is an empty message.
+	WMNull MsgKind = iota
+	// WMKeyDown is a key press (Param carries the key code).
+	WMKeyDown
+	// WMChar is a translated printable character.
+	WMChar
+	// WMMouseDown is a mouse-button press.
+	WMMouseDown
+	// WMMouseUp is a mouse-button release.
+	WMMouseUp
+	// WMPaint requests a repaint.
+	WMPaint
+	// WMTimer is a timer expiry.
+	WMTimer
+	// WMQueueSync is the synchronization message the Microsoft Test
+	// driver posts after every simulated input event — the artifact the
+	// paper discovered distorting its Figure 7 and §5.4 results.
+	WMQueueSync
+	// WMCommand is an application command (menu action, etc.).
+	WMCommand
+	// WMIdleWork is an application-internal message used to schedule
+	// background processing (Word's spell-check coroutines).
+	WMIdleWork
+	// WMSysCommand carries window-management commands (e.g. maximize).
+	WMSysCommand
+	// WMQuit asks the application to exit.
+	WMQuit
+)
+
+// String names the message kind.
+func (k MsgKind) String() string {
+	switch k {
+	case WMNull:
+		return "WM_NULL"
+	case WMKeyDown:
+		return "WM_KEYDOWN"
+	case WMChar:
+		return "WM_CHAR"
+	case WMMouseDown:
+		return "WM_LBUTTONDOWN"
+	case WMMouseUp:
+		return "WM_LBUTTONUP"
+	case WMPaint:
+		return "WM_PAINT"
+	case WMTimer:
+		return "WM_TIMER"
+	case WMQueueSync:
+		return "WM_QUEUESYNC"
+	case WMCommand:
+		return "WM_COMMAND"
+	case WMIdleWork:
+		return "WM_IDLEWORK"
+	case WMSysCommand:
+		return "WM_SYSCOMMAND"
+	case WMQuit:
+		return "WM_QUIT"
+	default:
+		return "WM_UNKNOWN"
+	}
+}
+
+// Msg is one queued message.
+type Msg struct {
+	Kind  MsgKind
+	Param int64
+	// Enqueued is when the message entered the queue; for hardware input
+	// it is the interrupt time, so latency measured from it includes the
+	// system time conventional instrumentation misses (paper Fig. 1).
+	Enqueued simtime.Time
+}
+
+// UserInput reports whether the message kind is a user-initiated input
+// event whose latency the methodology measures.
+func (k MsgKind) UserInput() bool {
+	switch k {
+	case WMKeyDown, WMChar, WMMouseDown, WMMouseUp, WMCommand, WMSysCommand:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,402 @@
+package kernel
+
+import (
+	"fmt"
+
+	"latlab/internal/simtime"
+	"latlab/internal/trace"
+)
+
+// reconcile is the scheduler's single entry point: after any state change
+// (wakeup, interrupt, completion, spawn) it re-establishes the invariant
+// that either the CPU is stolen by interrupt handlers (with a reconcile
+// event pending at stolenUntil), or the best-priority runnable thread is
+// current with a completion event scheduled, or nothing is runnable.
+//
+// It is guarded against reentrancy: hooks and thread steps can trigger
+// nested calls, which are absorbed into the outer loop.
+func (k *Kernel) reconcile() {
+	if k.inReconcile {
+		k.reconcileAgain = true
+		return
+	}
+	k.inReconcile = true
+	defer func() { k.inReconcile = false }()
+
+	for iter := 0; ; iter++ {
+		if iter > 1_000_000 {
+			panic("kernel: reconcile livelock — a thread is spinning without consuming time")
+		}
+		k.reconcileAgain = false
+
+		// Interrupt handlers own the CPU; they scheduled a reconcile at
+		// stolenUntil.
+		if k.now < k.stolenUntil {
+			break
+		}
+
+		// Preemption: a higher-priority ready thread displaces current.
+		if best := k.peekBest(); best != nil && k.current != nil && best.prio > k.current.prio {
+			k.pauseCurrent()
+			prev := k.current
+			k.current = nil
+			k.makeReady(prev)
+		}
+
+		if k.current == nil {
+			t := k.popBest()
+			if t == nil {
+				break // nothing runnable at all
+			}
+			t.state = StateRunning
+			t.quantumLeft = k.cfg.Quantum
+			k.current = t
+		}
+
+		t := k.current
+		if t.remaining > 0 {
+			if k.completion == nil && !k.startChunk(t) {
+				continue // context-switch charge or quantum requeue
+			}
+			if k.reconcileAgain {
+				continue
+			}
+			break
+		}
+
+		// The pending request needs an instantaneous step.
+		k.step(t)
+	}
+	k.updateBusy()
+}
+
+// startChunk gives the CPU to t for min(remaining, quantum). It returns
+// false when the chunk could not start yet: a context-switch charge stole
+// the CPU (a reconcile event is pending), or the quantum expired and t
+// was requeued behind an equal-priority peer.
+func (k *Kernel) startChunk(t *Thread) bool {
+	if t != k.lastRun {
+		if k.cfg.FlushOnProcessSwitch && k.lastRun != nil && k.lastRun.proc != t.proc {
+			k.cpu.Mem.FlushTLBs()
+		}
+		k.lastRun = t
+		if _, d := k.cpu.Execute(k.cfg.ContextSwitch); d > 0 {
+			k.steal(d)
+			return false
+		}
+	}
+	if t.quantumLeft <= 0 {
+		if k.hasReadyAtPrio(t.prio) {
+			k.current = nil
+			k.makeReady(t)
+			return false
+		}
+		t.quantumLeft = k.cfg.Quantum
+	}
+	runFor := t.remaining
+	if t.quantumLeft < runFor {
+		runFor = t.quantumLeft
+	}
+	t.runStart = k.now
+	k.completion = k.q.Schedule(k.now.Add(runFor), k.onCompletion)
+	return true
+}
+
+// onCompletion fires when the current thread's chunk (or quantum) ends.
+func (k *Kernel) onCompletion(now simtime.Time) {
+	k.completion = nil
+	t := k.current
+	if t == nil {
+		return
+	}
+	k.accountRun(t, now)
+	if t.remaining > 0 && t.quantumLeft <= 0 && k.hasReadyAtPrio(t.prio) {
+		k.current = nil
+		k.makeReady(t)
+	}
+	k.reconcile()
+}
+
+// pauseCurrent stops the running chunk, banking its progress, so the CPU
+// can be stolen or switched.
+func (k *Kernel) pauseCurrent() {
+	if k.current == nil || k.completion == nil {
+		return
+	}
+	k.completion.Cancel()
+	k.completion = nil
+	k.accountRun(k.current, k.now)
+}
+
+func (k *Kernel) accountRun(t *Thread, now simtime.Time) {
+	ran := now.Sub(t.runStart)
+	t.runStart = now
+	t.remaining -= ran
+	if t.remaining < 0 {
+		t.remaining = 0
+	}
+	t.quantumLeft -= ran
+}
+
+// steal gives the CPU to kernel-internal work (interrupt handler,
+// context switch) for d, queueing behind any steal in progress, and
+// arranges a reconcile when the CPU is free again.
+func (k *Kernel) steal(d simtime.Duration) {
+	start := k.now
+	if k.stolenUntil > start {
+		start = k.stolenUntil
+	}
+	k.stolenUntil = start.Add(d)
+	k.q.Schedule(k.stolenUntil, func(now simtime.Time) { k.reconcile() })
+}
+
+// peekBest returns the best ready thread without removing it.
+func (k *Kernel) peekBest() *Thread {
+	var best *Thread
+	for _, t := range k.ready {
+		if best == nil || t.prio > best.prio || (t.prio == best.prio && t.readySeq < best.readySeq) {
+			best = t
+		}
+	}
+	return best
+}
+
+// popBest removes and returns the best ready thread.
+func (k *Kernel) popBest() *Thread {
+	best := k.peekBest()
+	if best == nil {
+		return nil
+	}
+	for i, t := range k.ready {
+		if t == best {
+			k.ready = append(k.ready[:i], k.ready[i+1:]...)
+			break
+		}
+	}
+	return best
+}
+
+// hasReadyAtPrio reports whether some ready thread shares priority p.
+func (k *Kernel) hasReadyAtPrio(p int) bool {
+	for _, t := range k.ready {
+		if t.prio == p {
+			return true
+		}
+	}
+	return false
+}
+
+// fetch resumes t's goroutine and waits for its next request. Strict
+// alternation: the kernel blocks here while thread code runs.
+func (k *Kernel) fetch(t *Thread) request {
+	t.resume <- resumeToken{}
+	return <-t.requests
+}
+
+// step advances the current thread's instantaneous state: it fetches the
+// next request if none is pending, then processes it. Processing may
+// consume no simulated time (Post, Peek), set up a compute chunk, or
+// block the thread.
+func (k *Kernel) step(t *Thread) {
+	if t != k.current {
+		panic("kernel: stepping a non-current thread")
+	}
+	if t.pending == nil {
+		r := k.fetch(t)
+		t.pending = &r
+	}
+	k.process(t)
+}
+
+// process advances t.pending. It is re-entered after blocking requests
+// unblock, so every arm must be idempotent with respect to `started`.
+func (k *Kernel) process(t *Thread) {
+	r := t.pending
+	switch r.kind {
+	case reqCompute:
+		if !r.started {
+			r.started = true
+			if _, d := k.cpu.Execute(r.seg); d > 0 {
+				t.remaining = d
+				return
+			}
+		}
+		t.pending = nil
+
+	case reqDomainCross:
+		if !r.started {
+			r.started = true
+			if _, d := k.cpu.DomainCross(); d > 0 {
+				t.remaining = d
+				return
+			}
+		}
+		t.pending = nil
+
+	case reqModeSwitch:
+		if !r.started {
+			r.started = true
+			if d := k.cpu.Freq.DurationOf(k.cfg.ModeSwitchCycles); d > 0 {
+				t.remaining = d
+				return
+			}
+		}
+		t.pending = nil
+
+	case reqGetMessage:
+		if len(t.msgq) > 0 {
+			msg := t.msgq[0]
+			t.msgq = t.msgq[1:]
+			t.replyMsg = msg
+			call := k.now
+			if r.started { // the call blocked earlier
+				call = t.getCall
+			}
+			k.logMsgAPI(trace.MsgRecord{
+				API: trace.GetMessage, Call: call, Return: k.now,
+				Received: true, Kind: int(msg.Kind), Enqueued: msg.Enqueued,
+				QueueLen: len(t.msgq), Thread: t.id,
+			})
+			t.pending = nil
+			return
+		}
+		if !r.started {
+			r.started = true
+			t.getCall = k.now
+			// Log the blocking call itself: the monitor sees the
+			// application "prepared to accept a new event" (§2.4) even
+			// if this call never returns.
+			k.logMsgAPI(trace.MsgRecord{
+				API: trace.GetMessage, Call: k.now, Return: k.now,
+				Received: false, QueueLen: 0, Thread: t.id,
+			})
+		}
+		t.state = StateBlockedMsg
+		k.current = nil
+
+	case reqPeekMessage:
+		t.replyOK = len(t.msgq) > 0
+		rec := trace.MsgRecord{
+			API: trace.PeekMessage, Call: k.now, Return: k.now,
+			Received: t.replyOK, QueueLen: len(t.msgq), Thread: t.id,
+		}
+		if t.replyOK {
+			msg := t.msgq[0]
+			t.msgq = t.msgq[1:]
+			t.replyMsg = msg
+			rec.Kind = int(msg.Kind)
+			rec.Enqueued = msg.Enqueued
+			rec.QueueLen = len(t.msgq)
+		} else {
+			t.replyMsg = Msg{}
+		}
+		k.logMsgAPI(rec)
+		t.pending = nil
+
+	case reqPost:
+		k.deliver(r.target, r.msg)
+		t.pending = nil
+
+	case reqSleep:
+		if !r.started {
+			r.started = true
+			wake := k.now.Add(r.d)
+			if k.cfg.TimersTickAligned {
+				wake = k.NextTick(wake)
+			}
+			t.state = StateSleeping
+			k.current = nil
+			k.At(wake, func(now simtime.Time) {
+				if t.state == StateSleeping {
+					k.wake(t)
+				}
+			})
+			return
+		}
+		t.pending = nil
+
+	case reqReadFile:
+		if !r.started {
+			r.started = true
+			t.ioReady = false
+			inline := true
+			missing := k.cache.Read(r.file, r.page, r.pages, func(now simtime.Time) {
+				if inline {
+					return // all pages hit; no block happened
+				}
+				k.RaiseInterrupt(k.cfg.DiskInterrupt, func(now2 simtime.Time) {
+					t.ioReady = true
+					k.setSyncIO(k.syncIO - 1)
+					k.wake(t)
+				})
+			})
+			inline = false
+			if missing == 0 {
+				t.pending = nil
+				return
+			}
+			k.setSyncIO(k.syncIO + 1)
+			t.state = StateBlockedIO
+			k.current = nil
+			return
+		}
+		if !t.ioReady {
+			// Spuriously re-processed; stay blocked.
+			t.state = StateBlockedIO
+			k.current = nil
+			return
+		}
+		t.pending = nil
+
+	case reqWriteFile:
+		if !r.started {
+			r.started = true
+			t.ioReady = false
+			k.cache.Write(r.file, r.page, r.pages, func(now simtime.Time) {
+				k.RaiseInterrupt(k.cfg.DiskInterrupt, func(now2 simtime.Time) {
+					t.ioReady = true
+					k.setSyncIO(k.syncIO - 1)
+					k.wake(t)
+				})
+			})
+			k.setSyncIO(k.syncIO + 1)
+			t.state = StateBlockedIO
+			k.current = nil
+			return
+		}
+		if !t.ioReady {
+			t.state = StateBlockedIO
+			k.current = nil
+			return
+		}
+		t.pending = nil
+
+	case reqYield:
+		t.pending = nil
+		if k.hasReadyAtPrio(t.prio) {
+			k.current = nil
+			k.makeReady(t)
+		}
+
+	case reqExit:
+		t.pending = nil
+		t.state = StateDone
+		k.current = nil
+
+	default:
+		panic(fmt.Sprintf("kernel: unknown request kind %d", r.kind))
+	}
+}
+
+func (k *Kernel) logMsgAPI(rec trace.MsgRecord) {
+	if k.hooks.OnMsgAPI != nil {
+		k.hooks.OnMsgAPI(rec)
+	}
+}
+
+func (k *Kernel) setSyncIO(n int) {
+	k.syncIO = n
+	if k.hooks.OnSyncIO != nil {
+		k.hooks.OnSyncIO(n, k.now)
+	}
+}

@@ -1,0 +1,177 @@
+// Package mem models the memory-system state that the paper's analysis
+// attributes latency differences to: TLBs that are flushed on every
+// protection-domain crossing (Pentium has no tagged TLB, [5] in the
+// paper), and a cache whose warmth distinguishes first-run from
+// steady-state behaviour.
+//
+// The model is deliberately coarse — LRU sets of page and line
+// identifiers — because the methodology only needs miss *counts* that
+// respond correctly to working-set size, reuse, and flushes.
+package mem
+
+// LRU is a fixed-capacity LRU set of 64-bit identifiers. Touch reports
+// hit or miss and makes the identifier most-recently-used, evicting the
+// least-recently-used entry on overflow. The zero value is unusable; use
+// NewLRU.
+type LRU struct {
+	cap   int
+	slots map[uint64]*node
+	head  *node // most recently used
+	tail  *node // least recently used
+}
+
+type node struct {
+	id         uint64
+	prev, next *node
+}
+
+// NewLRU returns an LRU set with the given capacity.
+func NewLRU(capacity int) *LRU {
+	if capacity <= 0 {
+		panic("mem: non-positive LRU capacity")
+	}
+	return &LRU{cap: capacity, slots: make(map[uint64]*node, capacity)}
+}
+
+// Cap returns the capacity.
+func (l *LRU) Cap() int { return l.cap }
+
+// Len returns the number of resident identifiers.
+func (l *LRU) Len() int { return len(l.slots) }
+
+// Contains reports residency without updating recency.
+func (l *LRU) Contains(id uint64) bool {
+	_, ok := l.slots[id]
+	return ok
+}
+
+// Touch references id, returning true on a hit. On a miss the id is
+// inserted, evicting the LRU entry if the set is full.
+func (l *LRU) Touch(id uint64) bool {
+	if n, ok := l.slots[id]; ok {
+		l.moveToFront(n)
+		return true
+	}
+	n := &node{id: id}
+	l.slots[id] = n
+	l.pushFront(n)
+	if len(l.slots) > l.cap {
+		l.evict()
+	}
+	return false
+}
+
+// Insert makes id resident without reporting hit/miss (prefetch).
+func (l *LRU) Insert(id uint64) { l.Touch(id) }
+
+// Flush empties the set (a TLB flush on protection-domain crossing).
+func (l *LRU) Flush() {
+	l.slots = make(map[uint64]*node, l.cap)
+	l.head, l.tail = nil, nil
+}
+
+func (l *LRU) pushFront(n *node) {
+	n.prev = nil
+	n.next = l.head
+	if l.head != nil {
+		l.head.prev = n
+	}
+	l.head = n
+	if l.tail == nil {
+		l.tail = n
+	}
+}
+
+func (l *LRU) unlink(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (l *LRU) moveToFront(n *node) {
+	if l.head == n {
+		return
+	}
+	l.unlink(n)
+	l.pushFront(n)
+}
+
+func (l *LRU) evict() {
+	if l.tail == nil {
+		return
+	}
+	victim := l.tail
+	l.unlink(victim)
+	delete(l.slots, victim.id)
+}
+
+// System bundles the memory structures of the simulated machine. The
+// capacities default to the paper's Pentium: 32-entry instruction TLB,
+// 64-entry data TLB, and a 256 KB L2 modelled as 8192 32-byte lines
+// (identified at a coarser "chunk" granularity by callers).
+type System struct {
+	ITLB  *LRU
+	DTLB  *LRU
+	Cache *LRU
+}
+
+// Config sets the capacities of a System.
+type Config struct {
+	ITLBEntries int
+	DTLBEntries int
+	CacheLines  int
+}
+
+// DefaultConfig matches the experimental machine in paper §2.1.
+func DefaultConfig() Config {
+	return Config{ITLBEntries: 32, DTLBEntries: 64, CacheLines: 8192}
+}
+
+// NewSystem builds a System from cfg.
+func NewSystem(cfg Config) *System {
+	return &System{
+		ITLB:  NewLRU(cfg.ITLBEntries),
+		DTLB:  NewLRU(cfg.DTLBEntries),
+		Cache: NewLRU(cfg.CacheLines),
+	}
+}
+
+// FlushTLBs empties both TLBs, as the Pentium does on every protection-
+// domain crossing (paper §5.3). The cache survives.
+func (s *System) FlushTLBs() {
+	s.ITLB.Flush()
+	s.DTLB.Flush()
+}
+
+// TouchCode references a set of code pages, returning the miss count.
+func (s *System) TouchCode(pages []uint64) int {
+	return touchAll(s.ITLB, pages)
+}
+
+// TouchData references a set of data pages, returning the miss count.
+func (s *System) TouchData(pages []uint64) int {
+	return touchAll(s.DTLB, pages)
+}
+
+// TouchCache references a set of cache chunks, returning the miss count.
+func (s *System) TouchCache(chunks []uint64) int {
+	return touchAll(s.Cache, chunks)
+}
+
+func touchAll(l *LRU, ids []uint64) int {
+	misses := 0
+	for _, id := range ids {
+		if !l.Touch(id) {
+			misses++
+		}
+	}
+	return misses
+}

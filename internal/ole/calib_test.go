@@ -1,0 +1,14 @@
+package ole
+
+import (
+	"testing"
+
+	"latlab/internal/persona"
+)
+
+func TestCalibPrint(t *testing.T) {
+	for _, p := range persona.NTs() {
+		lat := activateTimes(t, p)
+		t.Logf("%s: ole1=%v ole2=%v ole3=%v", p.Short, lat[0], lat[1], lat[2])
+	}
+}

@@ -1,0 +1,130 @@
+// Package system assembles a bootable simulated machine: a kernel
+// configured by a persona, the persona's window system, its background
+// housekeeping threads, and the input-routing policy — including the
+// Windows 95 behaviour of busy-waiting between mouse-down and mouse-up
+// that the paper's Fig. 6 exposes.
+package system
+
+import (
+	"latlab/internal/kernel"
+	"latlab/internal/persona"
+	"latlab/internal/winsys"
+)
+
+// Scheduling priorities used across the experiments.
+const (
+	// IdlePrio is the idle class: the idle-loop instrument runs here.
+	IdlePrio = kernel.IdlePriority
+	// BackgroundPrio is OS housekeeping.
+	BackgroundPrio = 4
+	// AppPrio is the foreground application.
+	AppPrio = 8
+	// RouterPrio is system-level input routing (above applications).
+	RouterPrio = 12
+)
+
+// System is one booted machine.
+type System struct {
+	K   *kernel.Kernel
+	P   persona.P
+	Win *winsys.WinSys
+
+	focus    *kernel.Thread
+	router   *kernel.Thread
+	nextProc kernel.ProcID
+}
+
+// Boot builds and starts a machine for persona p: kernel, window system,
+// background threads, and (for personas with MouseBusyWait) the mouse
+// router. Call Shutdown when done to release thread goroutines.
+func Boot(p persona.P) *System {
+	s := &System{K: kernel.New(p.Kernel), P: p, nextProc: 1}
+	s.Win = winsys.New(s.K, p)
+
+	for _, b := range p.Background {
+		b := b
+		s.K.Spawn(b.Name, kernel.KernelProc, BackgroundPrio, func(tc *kernel.TC) {
+			for {
+				tc.Sleep(b.Period)
+				tc.Compute(b.Burst)
+			}
+		})
+	}
+
+	if p.MouseBusyWait {
+		s.router = s.K.Spawn("mouse16", kernel.KernelProc, RouterPrio, s.mouseRouter)
+	}
+	return s
+}
+
+// mouseRouter reproduces the Windows 95 behaviour the paper found: "the
+// system busy-waits between 'mouse down' and 'mouse up' events", so the
+// measured latency of a click is the duration of the user's press.
+func (s *System) mouseRouter(tc *kernel.TC) {
+	for {
+		m := tc.GetMessage()
+		if m.Kind != kernel.WMMouseDown {
+			tc.Forward(s.focus, m)
+			continue
+		}
+		tc.Forward(s.focus, m)
+		for {
+			if m2, ok := tc.PeekMessage(); ok {
+				tc.Forward(s.focus, m2)
+				if m2.Kind == kernel.WMMouseUp {
+					break
+				}
+				continue
+			}
+			tc.Compute(s.P.MousePoll)
+		}
+	}
+}
+
+// NewProc allocates a fresh address space for an application.
+func (s *System) NewProc() kernel.ProcID {
+	p := s.nextProc
+	s.nextProc++
+	return p
+}
+
+// SpawnApp starts an application main thread in its own process at
+// foreground priority and gives it input focus.
+func (s *System) SpawnApp(name string, body func(tc *kernel.TC)) *kernel.Thread {
+	t := s.K.Spawn(name, s.NewProc(), AppPrio, body)
+	s.SetFocus(t)
+	return t
+}
+
+// SetFocus directs subsequent input to t.
+func (s *System) SetFocus(t *kernel.Thread) { s.focus = t }
+
+// Focus returns the focused thread.
+func (s *System) Focus() *kernel.Thread { return s.focus }
+
+// Inject delivers one user-input event through the persona's hardware
+// path. When sync is true, a WM_QUEUESYNC follows the event in the same
+// queue — the Microsoft Test artifact (paper §5.4). Must be called from
+// simulator context (e.g. a k.At callback).
+func (s *System) Inject(kind kernel.MsgKind, param int64, sync bool) {
+	if s.focus == nil {
+		panic("system: input injected with no focused application")
+	}
+	target := s.focus
+	handler := s.P.Kernel.KeyboardInterrupt
+	switch kind {
+	case kernel.WMMouseDown, kernel.WMMouseUp:
+		handler = s.P.Kernel.MouseInterrupt
+		if s.router != nil {
+			target = s.router
+		}
+	}
+	msgs := []kernel.Msg{{Kind: kind, Param: param}}
+	if sync {
+		msgs = append(msgs, kernel.Msg{Kind: kernel.WMQueueSync})
+	}
+	s.K.DeviceInterrupt(handler, target, msgs...)
+}
+
+// Shutdown stops all threads.
+func (s *System) Shutdown() { s.K.Shutdown() }

@@ -1,0 +1,197 @@
+package system
+
+import (
+	"testing"
+
+	"latlab/internal/kernel"
+	"latlab/internal/persona"
+	"latlab/internal/simtime"
+)
+
+func TestBootSpawnsBackground(t *testing.T) {
+	s := Boot(persona.W95())
+	defer s.Shutdown()
+	// Run 500 ms idle; the W95 housekeeping threads must generate busy
+	// time even with no application.
+	s.K.Run(simtime.Time(500 * simtime.Millisecond))
+	if got := s.K.NonIdleBusyTime(); got < simtime.FromMillis(1) {
+		t.Fatalf("W95 idle-time background busy = %v, want > 1ms", got)
+	}
+
+	nt := Boot(persona.NT40())
+	defer nt.Shutdown()
+	nt.K.Run(simtime.Time(500 * simtime.Millisecond))
+	// NT idles except for clock interrupts: 50 ticks × ~4 µs ≈ 0.2 ms.
+	if got := nt.K.NonIdleBusyTime(); got > simtime.FromMillis(1) {
+		t.Fatalf("NT 4.0 idle busy = %v, want clock-only (<1ms)", got)
+	}
+}
+
+func TestKeyboardInjection(t *testing.T) {
+	s := Boot(persona.NT40())
+	defer s.Shutdown()
+	var got []kernel.Msg
+	s.SpawnApp("app", func(tc *kernel.TC) {
+		for len(got) < 2 {
+			got = append(got, tc.GetMessage())
+		}
+	})
+	s.K.At(simtime.Time(10*simtime.Millisecond), func(simtime.Time) {
+		s.Inject(kernel.WMKeyDown, 'a', true)
+	})
+	s.K.Run(simtime.Time(simtime.Second))
+	if len(got) != 2 {
+		t.Fatalf("messages = %d, want key + queuesync", len(got))
+	}
+	if got[0].Kind != kernel.WMKeyDown || got[1].Kind != kernel.WMQueueSync {
+		t.Fatalf("order = %v,%v; want WM_KEYDOWN then WM_QUEUESYNC", got[0].Kind, got[1].Kind)
+	}
+	if got[0].Enqueued != simtime.Time(10*simtime.Millisecond) {
+		t.Fatalf("enqueued = %v, want injection instant", got[0].Enqueued)
+	}
+}
+
+func TestMouseClickNTDirect(t *testing.T) {
+	s := Boot(persona.NT40())
+	defer s.Shutdown()
+	var kinds []kernel.MsgKind
+	s.SpawnApp("app", func(tc *kernel.TC) {
+		for len(kinds) < 2 {
+			kinds = append(kinds, tc.GetMessage().Kind)
+		}
+	})
+	s.K.At(simtime.Time(5*simtime.Millisecond), func(simtime.Time) { s.Inject(kernel.WMMouseDown, 0, false) })
+	s.K.At(simtime.Time(105*simtime.Millisecond), func(simtime.Time) { s.Inject(kernel.WMMouseUp, 0, false) })
+	s.K.Run(simtime.Time(simtime.Second))
+	if len(kinds) != 2 || kinds[0] != kernel.WMMouseDown || kinds[1] != kernel.WMMouseUp {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	// NT: the system was essentially idle between down and up.
+	if busy := s.K.NonIdleBusyTime(); busy > simtime.FromMillis(5) {
+		t.Fatalf("NT busy during click = %v, want ≪ press duration", busy)
+	}
+}
+
+func TestMouseClickW95BusyWaits(t *testing.T) {
+	// Paper §4/Fig. 6: under Windows 95 the CPU spins from mouse-down to
+	// mouse-up, so measured busy time ≈ press duration.
+	s := Boot(persona.W95())
+	defer s.Shutdown()
+	var kinds []kernel.MsgKind
+	s.SpawnApp("app", func(tc *kernel.TC) {
+		for len(kinds) < 2 {
+			kinds = append(kinds, tc.GetMessage().Kind)
+		}
+	})
+	s.K.At(simtime.Time(5*simtime.Millisecond), func(simtime.Time) { s.Inject(kernel.WMMouseDown, 0, false) })
+	s.K.At(simtime.Time(105*simtime.Millisecond), func(simtime.Time) { s.Inject(kernel.WMMouseUp, 0, false) })
+	s.K.Run(simtime.Time(simtime.Second))
+	if len(kinds) != 2 || kinds[0] != kernel.WMMouseDown || kinds[1] != kernel.WMMouseUp {
+		t.Fatalf("kinds = %v (router must forward both)", kinds)
+	}
+	busy := s.K.NonIdleBusyTime()
+	if busy < simtime.FromMillis(95) {
+		t.Fatalf("W95 busy during click = %v, want ≈ press duration (100ms)", busy)
+	}
+}
+
+func TestInjectWithoutFocusPanics(t *testing.T) {
+	s := Boot(persona.NT40())
+	defer s.Shutdown()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	s.Inject(kernel.WMKeyDown, 'a', false)
+}
+
+func TestNewProcUnique(t *testing.T) {
+	s := Boot(persona.NT40())
+	defer s.Shutdown()
+	a, b := s.NewProc(), s.NewProc()
+	if a == b || a == kernel.KernelProc {
+		t.Fatalf("proc ids not unique: %v, %v", a, b)
+	}
+}
+
+func TestFocusSwitching(t *testing.T) {
+	s := Boot(persona.NT40())
+	defer s.Shutdown()
+	var gotA, gotB int
+	a := s.SpawnApp("a", func(tc *kernel.TC) {
+		for {
+			if m := tc.GetMessage(); m.Kind == kernel.WMQuit {
+				return
+			}
+			gotA++
+		}
+	})
+	b := s.SpawnApp("b", func(tc *kernel.TC) {
+		for {
+			if m := tc.GetMessage(); m.Kind == kernel.WMQuit {
+				return
+			}
+			gotB++
+		}
+	})
+	s.SetFocus(a)
+	if s.Focus() != a {
+		t.Fatalf("focus accessor wrong")
+	}
+	s.K.At(simtime.Time(5*simtime.Millisecond), func(simtime.Time) { s.Inject(kernel.WMKeyDown, 1, false) })
+	s.K.At(simtime.Time(10*simtime.Millisecond), func(simtime.Time) { s.SetFocus(b) })
+	s.K.At(simtime.Time(15*simtime.Millisecond), func(simtime.Time) { s.Inject(kernel.WMKeyDown, 2, false) })
+	s.K.At(simtime.Time(20*simtime.Millisecond), func(simtime.Time) {
+		s.K.PostMessage(a, kernel.WMQuit, 0)
+		s.K.PostMessage(b, kernel.WMQuit, 0)
+	})
+	s.K.Run(simtime.Time(simtime.Second))
+	if gotA != 1 || gotB != 1 {
+		t.Fatalf("routing: a=%d b=%d, want 1/1", gotA, gotB)
+	}
+}
+
+func TestW95MouseClickWithQueueSync(t *testing.T) {
+	// The Test driver posts WM_QUEUESYNC after the mouse-down; the router
+	// must forward it mid-busy-wait without ending the wait.
+	s := Boot(persona.W95())
+	defer s.Shutdown()
+	var kinds []kernel.MsgKind
+	s.SpawnApp("app", func(tc *kernel.TC) {
+		for len(kinds) < 4 {
+			kinds = append(kinds, tc.GetMessage().Kind)
+		}
+	})
+	s.K.At(simtime.Time(5*simtime.Millisecond), func(simtime.Time) { s.Inject(kernel.WMMouseDown, 0, true) })
+	s.K.At(simtime.Time(85*simtime.Millisecond), func(simtime.Time) { s.Inject(kernel.WMMouseUp, 0, true) })
+	s.K.Run(simtime.Time(simtime.Second))
+	want := []kernel.MsgKind{kernel.WMMouseDown, kernel.WMQueueSync, kernel.WMMouseUp, kernel.WMQueueSync}
+	if len(kinds) != 4 {
+		t.Fatalf("forwarded = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("forward order = %v, want %v", kinds, want)
+		}
+	}
+	if busy := s.K.NonIdleBusyTime(); busy < simtime.FromMillis(75) {
+		t.Fatalf("busy-wait should still span the press: %v", busy)
+	}
+}
+
+func TestW95KeyboardBypassesRouter(t *testing.T) {
+	s := Boot(persona.W95())
+	defer s.Shutdown()
+	var got kernel.Msg
+	s.SpawnApp("app", func(tc *kernel.TC) { got = tc.GetMessage() })
+	s.K.At(simtime.Time(5*simtime.Millisecond), func(simtime.Time) { s.Inject(kernel.WMKeyDown, 'k', false) })
+	s.K.Run(simtime.Time(200 * simtime.Millisecond))
+	if got.Kind != kernel.WMKeyDown || got.Param != 'k' {
+		t.Fatalf("keyboard should go straight to the app: %+v", got)
+	}
+	// No busy-wait for keys: system mostly idle.
+	if busy := s.K.NonIdleBusyTime(); busy > simtime.FromMillis(10) {
+		t.Fatalf("keyboard path busy = %v, want small", busy)
+	}
+}

@@ -1,0 +1,34 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseIdleCSV checks that arbitrary input never panics the parser
+// and that anything it accepts survives a write/parse round trip.
+func FuzzParseIdleCSV(f *testing.F) {
+	f.Add("done_ms,elapsed_ms\n1.000000,1.000000\n")
+	f.Add("done_ms,elapsed_ms\n")
+	f.Add("done_ms,elapsed_ms\n10.760000,10.760000\n2.000000,1.000000\n")
+	f.Add("bogus header\n1,2\n")
+	f.Add("done_ms,elapsed_ms\nnot,numbers\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		samples, err := ParseIdleCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := WriteIdleCSV(&sb, samples); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := ParseIdleCSV(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(again) != len(samples) {
+			t.Fatalf("round trip changed length: %d → %d", len(samples), len(again))
+		}
+	})
+}

@@ -1,0 +1,285 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"latlab/internal/core"
+	"latlab/internal/stats"
+)
+
+// SVG renderers produce standalone, browser-viewable versions of the
+// paper's figures. They use no external assets: plain shapes and text.
+
+// svgPlot accumulates one chart with margins, axes, and a data area.
+type svgPlot struct {
+	width, height int
+	left, right   int
+	top, bottom   int
+	title         string
+	xLabel        string
+	yLabel        string
+	body          strings.Builder
+}
+
+func newSVGPlot(title, xLabel, yLabel string) *svgPlot {
+	return &svgPlot{
+		width: 860, height: 420,
+		left: 70, right: 20, top: 40, bottom: 50,
+		title: title, xLabel: xLabel, yLabel: yLabel,
+	}
+}
+
+func (p *svgPlot) plotW() float64 { return float64(p.width - p.left - p.right) }
+func (p *svgPlot) plotH() float64 { return float64(p.height - p.top - p.bottom) }
+
+// px/py map unit coordinates (0..1) into pixel space (0,0 = plot
+// bottom-left).
+func (p *svgPlot) px(u float64) float64 { return float64(p.left) + u*p.plotW() }
+func (p *svgPlot) py(v float64) float64 { return float64(p.height-p.bottom) - v*p.plotH() }
+
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func (p *svgPlot) rect(x, y, w, h float64, fill string) {
+	fmt.Fprintf(&p.body, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+		x, y, w, h, fill)
+}
+
+func (p *svgPlot) line(x1, y1, x2, y2 float64, stroke string, dash string) {
+	d := ""
+	if dash != "" {
+		d = fmt.Sprintf(` stroke-dasharray="%s"`, dash)
+	}
+	fmt.Fprintf(&p.body, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"%s/>`+"\n",
+		x1, y1, x2, y2, stroke, d)
+}
+
+func (p *svgPlot) text(x, y float64, size int, anchor, s string) {
+	fmt.Fprintf(&p.body, `<text x="%.1f" y="%.1f" font-size="%d" font-family="sans-serif" text-anchor="%s">%s</text>`+"\n",
+		x, y, size, anchor, svgEscape(s))
+}
+
+func (p *svgPlot) polyline(points []float64, stroke string) {
+	var sb strings.Builder
+	for i := 0; i+1 < len(points); i += 2 {
+		fmt.Fprintf(&sb, "%.1f,%.1f ", points[i], points[i+1])
+	}
+	fmt.Fprintf(&p.body, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+		strings.TrimSpace(sb.String()), stroke)
+}
+
+// yTicks draws horizontal gridlines with labels for unit positions.
+func (p *svgPlot) yTicks(ticks []float64, label func(v float64) string) {
+	for _, v := range ticks {
+		y := p.py(v)
+		p.line(float64(p.left), y, float64(p.width-p.right), y, "#dddddd", "")
+		p.text(float64(p.left)-6, y+4, 11, "end", label(v))
+	}
+}
+
+// xTicks draws vertical tick labels for unit positions.
+func (p *svgPlot) xTicks(ticks []float64, label func(v float64) string) {
+	for _, v := range ticks {
+		x := p.px(v)
+		p.line(x, float64(p.height-p.bottom), x, float64(p.height-p.bottom)+4, "#888888", "")
+		p.text(x, float64(p.height-p.bottom)+18, 11, "middle", label(v))
+	}
+}
+
+func (p *svgPlot) writeTo(w io.Writer) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		p.width, p.height, p.width, p.height)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	// Frame.
+	fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%.1f" height="%.1f" fill="none" stroke="#444444"/>`+"\n",
+		p.left, p.top, p.plotW(), p.plotH())
+	sb.WriteString(p.body.String())
+	// Title + axis labels last so they stay on top.
+	fmt.Fprintf(&sb, `<text x="%d" y="24" font-size="15" font-family="sans-serif" font-weight="bold">%s</text>`+"\n",
+		p.left, svgEscape(p.title))
+	fmt.Fprintf(&sb, `<text x="%.1f" y="%d" font-size="12" font-family="sans-serif" text-anchor="middle">%s</text>`+"\n",
+		p.px(0.5), p.height-12, svgEscape(p.xLabel))
+	fmt.Fprintf(&sb, `<text x="16" y="%.1f" font-size="12" font-family="sans-serif" text-anchor="middle" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+		p.py(0.5), p.py(0.5), svgEscape(p.yLabel))
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// logScale maps v into [0,1] on a log axis from lo to hi.
+func logScale(v, lo, hi float64) float64 {
+	if v < lo {
+		v = lo
+	}
+	if hi <= lo {
+		return 0
+	}
+	return math.Log(v/lo) / math.Log(hi/lo)
+}
+
+// TimeSeriesSVG renders the paper's raw-data representation (Figs. 5/12)
+// as SVG: one vertical bar per event at its start time, log latency axis,
+// dashed line at thresholdMs.
+func TimeSeriesSVG(w io.Writer, title string, events []core.Event, thresholdMs float64) error {
+	p := newSVGPlot(title, "time (s)", "event latency (ms, log)")
+	if len(events) == 0 {
+		p.text(p.px(0.5), p.py(0.5), 13, "middle", "(no events)")
+		return p.writeTo(w)
+	}
+	t0, t1 := events[0].Enqueued, events[0].Enqueued
+	maxMs := thresholdMs
+	for _, e := range events {
+		if e.Enqueued < t0 {
+			t0 = e.Enqueued
+		}
+		if e.Enqueued > t1 {
+			t1 = e.Enqueued
+		}
+		if v := e.Latency.Milliseconds(); v > maxMs {
+			maxMs = v
+		}
+	}
+	span := t1.Sub(t0).Seconds()
+	if span <= 0 {
+		span = 1
+	}
+	const loMs = 1.0
+	// Log-decade ticks.
+	var yt []float64
+	var ytv []float64
+	for d := loMs; d <= maxMs*1.001; d *= 10 {
+		yt = append(yt, logScale(d, loMs, maxMs))
+		ytv = append(ytv, d)
+	}
+	for i, u := range yt {
+		v := ytv[i]
+		p.yTicks([]float64{u}, func(float64) string { return fmt.Sprintf("%.0f", v) })
+	}
+	// Time ticks: 5 evenly spaced.
+	for i := 0; i <= 5; i++ {
+		u := float64(i) / 5
+		sec := t0.Seconds() + u*span
+		p.xTicks([]float64{u}, func(float64) string { return fmt.Sprintf("%.1f", sec) })
+	}
+	// Threshold line.
+	ty := p.py(logScale(thresholdMs, loMs, maxMs))
+	p.line(float64(p.left), ty, float64(p.width-p.right), ty, "#cc3333", "5,3")
+	p.text(float64(p.width-p.right), ty-4, 10, "end", fmt.Sprintf("%.0f ms", thresholdMs))
+	// Bars.
+	for _, e := range events {
+		u := (e.Enqueued.Seconds() - t0.Seconds()) / span
+		v := logScale(e.Latency.Milliseconds(), loMs, maxMs)
+		x := p.px(u)
+		p.line(x, p.py(0), x, p.py(v), "#3366aa", "")
+	}
+	return p.writeTo(w)
+}
+
+// ProfileSVG renders a CPU-utilization profile (Figs. 3/4) as SVG.
+func ProfileSVG(w io.Writer, title string, pts []core.ProfilePoint) error {
+	p := newSVGPlot(title, "time (ms)", "CPU utilization (%)")
+	if len(pts) == 0 {
+		p.text(p.px(0.5), p.py(0.5), 13, "middle", "(no samples)")
+		return p.writeTo(w)
+	}
+	t0 := pts[0].T.Milliseconds()
+	t1 := pts[len(pts)-1].T.Milliseconds()
+	span := t1 - t0
+	if span <= 0 {
+		span = 1
+	}
+	for i := 0; i <= 4; i++ {
+		v := float64(i) / 4
+		p.yTicks([]float64{v}, func(float64) string { return fmt.Sprintf("%.0f", v*100) })
+	}
+	for i := 0; i <= 5; i++ {
+		u := float64(i) / 5
+		ms := t0 + u*span
+		p.xTicks([]float64{u}, func(float64) string { return fmt.Sprintf("%.0f", ms) })
+	}
+	var poly []float64
+	for _, pt := range pts {
+		u := (pt.T.Milliseconds() - t0) / span
+		poly = append(poly, p.px(u), p.py(pt.Util))
+	}
+	p.polyline(poly, "#228833")
+	return p.writeTo(w)
+}
+
+// HistogramSVG renders a latency histogram with a log count axis (the
+// Fig. 7/8/11 histograms).
+func HistogramSVG(w io.Writer, title string, h *stats.Histogram) error {
+	p := newSVGPlot(title, "event latency (ms)", "events (log)")
+	maxCount := h.MaxCount()
+	if maxCount == 0 {
+		p.text(p.px(0.5), p.py(0.5), 13, "middle", "(empty)")
+		return p.writeTo(w)
+	}
+	logMax := math.Log10(float64(maxCount) + 1)
+	n := len(h.Counts)
+	barW := p.plotW() / float64(n)
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		v := math.Log10(float64(c)+1) / logMax
+		x := p.px(float64(i) / float64(n))
+		p.rect(x+1, p.py(v), barW-2, p.py(0)-p.py(v), "#3366aa")
+	}
+	for i := 0; i <= 4; i++ {
+		u := float64(i) / 4
+		ms := h.Lo + u*(h.Hi-h.Lo)
+		p.xTicks([]float64{u}, func(float64) string { return fmt.Sprintf("%.0f", ms) })
+	}
+	// Count decade ticks.
+	for d := 1.0; d <= float64(maxCount)*1.001; d *= 10 {
+		v := math.Log10(d+1) / logMax
+		dd := d
+		p.yTicks([]float64{v}, func(float64) string { return fmt.Sprintf("%.0f", dd) })
+	}
+	if h.Over > 0 {
+		p.text(float64(p.width-p.right), float64(p.top)+14, 11, "end",
+			fmt.Sprintf("+%d events over %.0f ms", h.Over, h.Hi))
+	}
+	return p.writeTo(w)
+}
+
+// CumulativeSVG renders the cumulative-latency curve (log latency X,
+// cumulative Y).
+func CumulativeSVG(w io.Writer, title string, pts []stats.CumulativePoint) error {
+	p := newSVGPlot(title, "event latency (ms, log)", "cumulative latency (ms)")
+	if len(pts) == 0 {
+		p.text(p.px(0.5), p.py(0.5), 13, "middle", "(no events)")
+		return p.writeTo(w)
+	}
+	maxLat := pts[len(pts)-1].Latency
+	if maxLat < 1 {
+		maxLat = 1
+	}
+	maxCum := pts[len(pts)-1].CumLatency
+	if maxCum <= 0 {
+		maxCum = 1
+	}
+	for i := 0; i <= 4; i++ {
+		v := float64(i) / 4
+		p.yTicks([]float64{v}, func(float64) string { return fmt.Sprintf("%.0f", v*maxCum) })
+	}
+	for d := 1.0; d <= maxLat*1.001; d *= 10 {
+		u := logScale(d, 1, maxLat)
+		dd := d
+		p.xTicks([]float64{u}, func(float64) string { return fmt.Sprintf("%.0f", dd) })
+	}
+	var poly []float64
+	for _, pt := range pts {
+		u := logScale(pt.Latency, 1, maxLat)
+		poly = append(poly, p.px(u), p.py(pt.CumLatency/maxCum))
+	}
+	p.polyline(poly, "#aa3366")
+	return p.writeTo(w)
+}

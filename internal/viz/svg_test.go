@@ -1,0 +1,113 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"latlab/internal/core"
+	"latlab/internal/stats"
+)
+
+func checkSVG(t *testing.T, out string, wants ...string) {
+	t.Helper()
+	if !strings.HasPrefix(out, "<svg ") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatalf("not a complete SVG document:\n%.120s...", out)
+	}
+	for _, w := range wants {
+		if !strings.Contains(out, w) {
+			t.Fatalf("svg missing %q:\n%.400s...", w, out)
+		}
+	}
+}
+
+func TestTimeSeriesSVG(t *testing.T) {
+	events := []core.Event{
+		{Enqueued: at(0), Latency: ms(5)},
+		{Enqueued: at(2000), Latency: ms(500)},
+		{Enqueued: at(4000), Latency: ms(50)},
+	}
+	var sb strings.Builder
+	if err := TimeSeriesSVG(&sb, "raw trace", events, 100); err != nil {
+		t.Fatal(err)
+	}
+	checkSVG(t, sb.String(), "raw trace", "100 ms", "event latency (ms, log)", "<line")
+
+	var empty strings.Builder
+	if err := TimeSeriesSVG(&empty, "x", nil, 100); err != nil {
+		t.Fatal(err)
+	}
+	checkSVG(t, empty.String(), "(no events)")
+}
+
+func TestTimeSeriesSVGEscapesTitle(t *testing.T) {
+	var sb strings.Builder
+	if err := TimeSeriesSVG(&sb, `a <b> & "c"`, nil, 100); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "<b>") {
+		t.Fatalf("title not escaped")
+	}
+	checkSVG(t, sb.String(), "a &lt;b&gt; &amp; &quot;c&quot;")
+}
+
+func TestProfileSVG(t *testing.T) {
+	pts := []core.ProfilePoint{
+		{T: at(0), Util: 0}, {T: at(10), Util: 1}, {T: at(20), Util: 0.3},
+	}
+	var sb strings.Builder
+	if err := ProfileSVG(&sb, "profile", pts); err != nil {
+		t.Fatal(err)
+	}
+	checkSVG(t, sb.String(), "profile", "CPU utilization", "<polyline")
+
+	var empty strings.Builder
+	if err := ProfileSVG(&empty, "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	checkSVG(t, empty.String(), "(no samples)")
+}
+
+func TestHistogramSVG(t *testing.T) {
+	h := stats.NewHistogram(0, 100, 10)
+	for i := 0; i < 500; i++ {
+		h.Add(5)
+	}
+	h.Add(95)
+	h.Add(200) // over
+	var sb strings.Builder
+	if err := HistogramSVG(&sb, "hist", h); err != nil {
+		t.Fatal(err)
+	}
+	checkSVG(t, sb.String(), "hist", "<rect", "+1 events over 100 ms")
+
+	var empty strings.Builder
+	if err := HistogramSVG(&empty, "x", stats.NewHistogram(0, 10, 4)); err != nil {
+		t.Fatal(err)
+	}
+	checkSVG(t, empty.String(), "(empty)")
+}
+
+func TestCumulativeSVG(t *testing.T) {
+	pts := stats.CumulativeCurve([]float64{2, 5, 300})
+	var sb strings.Builder
+	if err := CumulativeSVG(&sb, "cum", pts); err != nil {
+		t.Fatal(err)
+	}
+	checkSVG(t, sb.String(), "cum", "cumulative latency", "<polyline")
+
+	var empty strings.Builder
+	if err := CumulativeSVG(&empty, "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	checkSVG(t, empty.String(), "(no events)")
+}
+
+func TestSVGWriteErrorPropagates(t *testing.T) {
+	events := []core.Event{{Enqueued: at(0), Latency: ms(5)}}
+	if err := TimeSeriesSVG(&failWriter{n: 0}, "t", events, 100); err != errSink {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if err := ProfileSVG(&failWriter{n: 0}, "t", []core.ProfilePoint{{T: 0, Util: 1}}); err != errSink {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}

@@ -1,0 +1,285 @@
+// Package winsys models the window-system / Win32 API layer the
+// applications call through. Every operation funnels through one of three
+// architectural paths selected by the persona:
+//
+//   - ServerProcess (NT 3.51): domain crossing → server segment → domain
+//     crossing back. Each crossing flushes the TLBs, so the server's and
+//     the application's working sets are refilled on every call — the
+//     mechanism behind the paper's Fig. 9/10 TLB-miss gap.
+//   - KernelMode (NT 4.0): mode switch → kernel segment; no flush.
+//   - Shared16Bit (Windows 95): mode switch → 16-bit segment carrying
+//     segment-register loads, unaligned accesses, and a wider data
+//     working set.
+//
+// Operations describe their memory behaviour as a small *hot* working set
+// (warms up and stays resident) plus a *streaming* window (cycled through
+// a region larger than the TLB, so it misses persistently — bitmap and
+// glyph data during redraws).
+package winsys
+
+import (
+	"latlab/internal/cpu"
+	"latlab/internal/kernel"
+	"latlab/internal/persona"
+	"latlab/internal/simtime"
+)
+
+// Code-page layout for the window system itself (kernel device pages use
+// 0-49; apps allocate from 300 up; op data windows from 50000 up).
+var (
+	gdiKernelPages = pageRange(100, 12) // NT 4.0 in-kernel win32
+	serverPages    = pageRange(140, 40) // NT 3.51 user-level server (CSRSS image)
+	pages16        = pageRange(180, 14) // Windows 95 16-bit USER/GDI
+)
+
+func pageRange(base uint64, n int) []uint64 {
+	ps := make([]uint64, n)
+	for i := range ps {
+		ps[i] = base + uint64(i)
+	}
+	return ps
+}
+
+// opCursor tracks an operation's streaming-data window.
+type opCursor struct {
+	base   uint64
+	window int
+	pos    int
+	hot    []uint64
+	chunks []uint64
+}
+
+// WinSys is one persona's window system bound to a kernel instance.
+type WinSys struct {
+	k        *kernel.Kernel
+	p        persona.P
+	appPages []uint64
+	cursors  map[string]*opCursor
+	nextBase uint64
+	calls    int64
+	batched  int64
+}
+
+// New builds the window system for kernel k under persona p.
+func New(k *kernel.Kernel, p persona.P) *WinSys {
+	return &WinSys{k: k, p: p, cursors: make(map[string]*opCursor), nextBase: 50_000}
+}
+
+// Persona returns the persona this window system models.
+func (w *WinSys) Persona() persona.P { return w.p }
+
+// Calls returns the number of Win32 calls made so far.
+func (w *WinSys) Calls() int64 { return w.calls }
+
+// BatchedCalls returns how many calls were cost-reduced by request
+// batching (input queued behind the event being handled).
+func (w *WinSys) BatchedCalls() int64 { return w.batched }
+
+// BindApp declares the foreground application's code working set, used
+// as the application-side glue refilled after every server crossing.
+func (w *WinSys) BindApp(codePages []uint64) { w.appPages = codePages }
+
+func (w *WinSys) cursor(name string, stream, hot, chunks int) *opCursor {
+	c, ok := w.cursors[name]
+	if ok {
+		return c
+	}
+	// The streaming window must exceed the data TLB so cycling through it
+	// keeps missing; 6x the per-call touch count is comfortably past 64
+	// entries for redraw-scale operations.
+	window := stream * 6
+	if window < stream {
+		window = stream
+	}
+	c = &opCursor{base: w.nextBase, window: window}
+	for i := 0; i < hot; i++ {
+		c.hot = append(c.hot, w.nextBase+3000+uint64(i))
+	}
+	for i := 0; i < chunks; i++ {
+		c.chunks = append(c.chunks, (w.nextBase+3000)*8+uint64(i))
+	}
+	w.nextBase += 4096
+	w.cursors[name] = c
+	return c
+}
+
+// op describes one Win32 operation's cost on the NT 4.0 baseline; the
+// persona transforms it.
+type op struct {
+	name string
+	// cycles is the base (warm, NT 4.0) path length.
+	cycles int64
+	// hot/stream/chunks are per-call working-set touch counts.
+	hot    int
+	stream int
+	chunks int
+	// scale16 is the op's relative path length under Shared16Bit
+	// (0 means 1.0): 16-bit USER input paths are slow, while the
+	// hand-tuned 16-bit text raster path is faster than NT's portable
+	// GDI — which is why Windows 95 has the smallest cumulative latency
+	// in the paper's Notepad run (Fig. 7) yet the worst simple-keystroke
+	// latency (Fig. 6).
+	scale16 float64
+}
+
+// call performs one Win32 call under the persona's architecture.
+func (w *WinSys) call(tc *kernel.TC, o op) {
+	w.calls++
+
+	// Application-side glue (argument marshalling, dispatch); its code
+	// pages are the app's, so NT 3.51's return crossing is paid for here.
+	if len(w.appPages) > 0 {
+		tc.Compute(cpu.Segment{
+			Name: o.name + "-glue", BaseCycles: 2000,
+			Instructions: 1300, DataRefs: 500,
+			CodePages: w.appPages,
+		})
+	}
+
+	base := int64(float64(o.cycles) * w.p.PathScale)
+	if w.p.Arch == persona.Shared16Bit && o.scale16 != 0 {
+		base = int64(float64(base) * o.scale16)
+	}
+	// Request batching: with more user input already queued, the window
+	// system coalesces invalidations — throughput up, responsiveness
+	// meaningless (§1.1). Realistically paced input never triggers this.
+	if w.p.BatchScale > 0 && w.p.BatchScale < 1 && tc.PendingUserInput() {
+		base = int64(float64(base) * w.p.BatchScale)
+		w.batched++
+	}
+	stream := int(float64(o.stream) * w.p.DataWindowScale)
+	c := w.cursor(o.name, stream, o.hot, o.chunks)
+
+	seg := cpu.Segment{
+		Name:         o.name,
+		BaseCycles:   base,
+		Instructions: base * 6 / 10,
+		DataRefs:     base * 3 / 10,
+		CacheChunks:  c.chunks,
+	}
+	seg.DataPages = append(seg.DataPages, c.hot...)
+	for i := 0; i < stream; i++ {
+		seg.DataPages = append(seg.DataPages, c.base+uint64((c.pos+i)%max(c.window, 1)))
+	}
+	c.pos = (c.pos + stream) % max(c.window, 1)
+
+	if w.p.SegLoadsPerKCycle > 0 {
+		seg.SegmentLoads = int64(w.p.SegLoadsPerKCycle * float64(base) / 1000)
+	}
+	if w.p.UnalignedPerKCycle > 0 {
+		seg.UnalignedAccesses = int64(w.p.UnalignedPerKCycle * float64(base) / 1000)
+	}
+
+	switch w.p.Arch {
+	case persona.ServerProcess:
+		seg.CodePages = serverPages
+		tc.DomainCross()
+		tc.Compute(seg)
+		tc.DomainCross()
+	case persona.KernelMode:
+		seg.CodePages = gdiKernelPages
+		tc.ModeSwitch()
+		tc.Compute(seg)
+	case persona.Shared16Bit:
+		seg.CodePages = pages16
+		tc.ModeSwitch()
+		tc.Compute(seg)
+	}
+}
+
+// KeyTranslate is the system-side processing of a raw key-down into a
+// character event (TranslateMessage and friends).
+func (w *WinSys) KeyTranslate(tc *kernel.TC) {
+	w.call(tc, op{name: "keytranslate", cycles: 18_000, hot: 4, scale16: 1.8})
+}
+
+// DefWindowProc is the default handling of an unbound input event.
+func (w *WinSys) DefWindowProc(tc *kernel.TC) {
+	w.call(tc, op{name: "defwindowproc", cycles: 14_000, hot: 4, scale16: 1.8})
+}
+
+// MouseEvent is the system-side processing of a mouse button event.
+func (w *WinSys) MouseEvent(tc *kernel.TC) {
+	w.call(tc, op{name: "mouseevent", cycles: 16_000, hot: 4, scale16: 1.8})
+}
+
+// TextOut renders n characters at the caret (per-keystroke echo path:
+// glyph lookup, raster op, caret move).
+func (w *WinSys) TextOut(tc *kernel.TC, n int) {
+	for i := 0; i < n; i++ {
+		w.call(tc, op{name: "textout", cycles: 150_000, hot: 8, stream: 3, chunks: 12, scale16: 0.7})
+	}
+}
+
+// ScrollWindow shifts the client area by one line (blit).
+func (w *WinSys) ScrollWindow(tc *kernel.TC) {
+	w.call(tc, op{name: "scrollwindow", cycles: 420_000, hot: 8, stream: 24, chunks: 16})
+}
+
+// RepaintLines redraws n text lines (scroll/page-down refresh).
+func (w *WinSys) RepaintLines(tc *kernel.TC, n int) {
+	for i := 0; i < n; i++ {
+		w.call(tc, op{name: "repaintline", cycles: 105_000, hot: 8, stream: 10, chunks: 10})
+	}
+}
+
+// DrawChart renders an embedded graph of the given element count (the
+// PowerPoint OLE graph of Figs. 8-10).
+func (w *WinSys) DrawChart(tc *kernel.TC, elements int) {
+	for i := 0; i < elements; i += 2 {
+		w.call(tc, op{name: "drawchart", cycles: 36_000, hot: 10, stream: 12, chunks: 8})
+	}
+}
+
+// DrawFrame draws the animated window outline at growth step i (the
+// maximize animation of Fig. 4); cost grows with the outline size.
+func (w *WinSys) DrawFrame(tc *kernel.TC, step int) {
+	w.call(tc, op{name: "drawframe", cycles: 40_000 + int64(step)*25_000, hot: 6, stream: 4, chunks: 6})
+}
+
+// RepaintWindow redraws the full client area: cells scales the work (a
+// maximized window redraw is the 200 ms burst in Fig. 4).
+func (w *WinSys) RepaintWindow(tc *kernel.TC, cells int) {
+	for i := 0; i < cells; i++ {
+		w.call(tc, op{name: "repaintcell", cycles: 190_000, hot: 8, stream: 14, chunks: 12})
+	}
+}
+
+// OLESetup performs the GUI work of an OLE in-place activation: window
+// re-parenting, menu merging, toolbar negotiation. It is call-heavy, and
+// the user-level-server persona multiplies the round-trip count
+// (ServerCallScale) — the §5.3/Fig. 10 mechanism writ large.
+func (w *WinSys) OLESetup(tc *kernel.TC, calls int) {
+	n := int(float64(calls) * w.p.ServerCallScale)
+	if n < calls {
+		n = calls
+	}
+	for i := 0; i < n; i++ {
+		w.call(tc, op{name: "olesetup", cycles: 30_000, hot: 10, stream: 40, chunks: 12})
+	}
+}
+
+// MenuCommand processes a menu/command dispatch.
+func (w *WinSys) MenuCommand(tc *kernel.TC) {
+	w.call(tc, op{name: "menucommand", cycles: 60_000, hot: 6, stream: 2, chunks: 6})
+}
+
+// CreateWindow sets up a new top-level window.
+func (w *WinSys) CreateWindow(tc *kernel.TC) {
+	w.call(tc, op{name: "createwindow", cycles: 900_000, hot: 12, stream: 20, chunks: 24})
+}
+
+// MaximizeAnimation performs the paper's §2.6 window-maximize sequence:
+// an initial processing burst, `steps` animation frames paced by the
+// clock tick (the 10 ms-aligned stair pattern of Fig. 4), then a full
+// redraw burst.
+func (w *WinSys) MaximizeAnimation(tc *kernel.TC, steps, redrawCells int) {
+	// Initial input processing: ~80 ms of window-manager work.
+	w.call(tc, op{name: "maxprep", cycles: 7_800_000, hot: 16, stream: 30, chunks: 30})
+	for i := 1; i <= steps; i++ {
+		// Pace the animation: wait for the next clock tick.
+		tc.Sleep(simtime.Nanosecond)
+		w.DrawFrame(tc, i)
+	}
+	w.RepaintWindow(tc, redrawCells)
+}
