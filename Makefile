@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench repro quick examples clean
+.PHONY: all build vet test race verify bench repro quick examples clean
 
-all: build vet test
+all: build verify
 
 build:
 	$(GO) build ./...
@@ -13,11 +13,14 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
-	$(GO) test ./...
+test: verify
 
 race:
 	$(GO) test -race ./...
+
+# The CI gate: vet plus the full suite under the race detector (the
+# runner is concurrent, so a plain `go test` can miss real bugs).
+verify: vet race
 
 # One benchmark per paper table/figure, plus ablations.
 bench:

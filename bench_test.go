@@ -11,6 +11,7 @@
 package latlab
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -36,7 +37,11 @@ func runExperiment(b *testing.B, id string) experiments.Result {
 	}
 	var res experiments.Result
 	for i := 0; i < b.N; i++ {
-		res = spec.Run(cfg())
+		var err error
+		res, err = spec.Run(context.Background(), cfg())
+		if err != nil {
+			b.Fatal(err)
+		}
 		if err := res.Render(io.Discard); err != nil {
 			b.Fatal(err)
 		}

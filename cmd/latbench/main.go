@@ -1,21 +1,33 @@
 // Command latbench runs latlab's reproduction of the paper's evaluation:
 // every table and figure, rendered in the paper's format.
 //
+// Experiments are scheduled on a worker pool (-jobs, default NumCPU) and
+// rendered in paper order whatever the completion order, so the text
+// output is byte-identical for any job count. A panicking or timed-out
+// experiment becomes a failed run record (and exit code 1) instead of
+// aborting the suite; -json writes one RunRecord per experiment.
+//
 // Usage:
 //
 //	latbench -list
 //	latbench [-quick] [-seed N] [-run fig7,table1] [-out results.txt]
+//	         [-jobs N] [-timeout 5m] [-json manifest.json]
+//	         [-csv-dir dir] [-svg-dir dir]
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
-	"time"
 
 	"latlab/internal/experiments"
+	"latlab/internal/runner"
 	"latlab/internal/viz"
 )
 
@@ -27,13 +39,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("latbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		list    = fs.Bool("list", false, "list available experiments and exit")
-		quick   = fs.Bool("quick", false, "trim workload sizes (for smoke runs)")
-		seed    = fs.Uint64("seed", 1996, "seed for stochastic models")
-		runArg  = fs.String("run", "all", "comma-separated experiment ids, or 'all'")
-		outPath = fs.String("out", "", "write results to this file instead of stdout")
-		csvDir  = fs.String("csv-dir", "", "also export raw per-event CSVs for experiments that have them")
-		svgDir  = fs.String("svg-dir", "", "also export SVG figures for experiments that have them")
+		list     = fs.Bool("list", false, "list available experiments and exit")
+		quick    = fs.Bool("quick", false, "trim workload sizes (for smoke runs)")
+		seed     = fs.Uint64("seed", 1996, "seed for stochastic models")
+		runArg   = fs.String("run", "all", "comma-separated experiment ids, or 'all'")
+		outPath  = fs.String("out", "", "write results to this file instead of stdout")
+		csvDir   = fs.String("csv-dir", "", "also export raw per-event CSVs for experiments that have them")
+		svgDir   = fs.String("svg-dir", "", "also export SVG figures for experiments that have them")
+		jobs     = fs.Int("jobs", runtime.NumCPU(), "run up to N experiments concurrently")
+		timeout  = fs.Duration("timeout", 0, "per-experiment timeout (0 = none)")
+		jsonPath = fs.String("json", "", "write a JSON run manifest to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -48,17 +63,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	w := stdout
+	var outFile *atomicFile
 	if *outPath != "" {
-		f, err := os.Create(*outPath)
+		af, err := newAtomicFile(*outPath)
 		if err != nil {
 			fmt.Fprintf(stderr, "latbench: %v\n", err)
 			return 1
 		}
-		defer f.Close()
-		w = f
+		// A mid-suite failure discards the temp file instead of leaving a
+		// truncated results file at -out.
+		defer af.abort()
+		outFile = af
+		w = af
 	}
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick}
 	var specs []experiments.Spec
 	if *runArg == "all" {
 		specs = experiments.All()
@@ -73,43 +91,180 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	for i, s := range specs {
-		if i > 0 {
+	rendered := 0
+	emit := func(out runner.Outcome) error {
+		if out.Record.Failed() {
+			kind := "failed"
+			switch {
+			case out.Record.TimedOut:
+				kind = "timed out"
+			case out.Record.Panicked:
+				kind = "panicked"
+			}
+			fmt.Fprintf(stderr, "latbench: %s %s: %s\n", out.Spec.ID, kind, firstLine(out.Record.Error))
+			return nil
+		}
+		if rendered > 0 {
 			fmt.Fprintln(w, strings.Repeat("=", 90))
 		}
-		start := time.Now()
-		res := s.Run(cfg)
-		if err := res.Render(w); err != nil {
-			fmt.Fprintf(stderr, "latbench: rendering %s: %v\n", s.ID, err)
+		rendered++
+		if err := out.Result.Render(w); err != nil {
+			return fmt.Errorf("rendering %s: %w", out.Spec.ID, err)
+		}
+		fmt.Fprintf(w, "\n[%s: %s — reproduces %s]\n", out.Spec.ID, out.Spec.Title, out.Spec.Paper)
+		return exportArtifacts(*csvDir, *svgDir, out.Spec.ID, out.Result)
+	}
+
+	opt := runner.Options{
+		Jobs:    *jobs,
+		Timeout: *timeout,
+		Config:  experiments.Config{Seed: *seed, Quick: *quick},
+	}
+	man, err := runner.Run(context.Background(), specs, opt, emit)
+	if err != nil {
+		fmt.Fprintf(stderr, "latbench: %v\n", err)
+		return 1
+	}
+
+	if *jsonPath != "" {
+		jf, err := newAtomicFile(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "latbench: %v\n", err)
 			return 1
 		}
-		fmt.Fprintf(w, "\n[%s: %s — reproduces %s; ran in %.1fs]\n",
-			s.ID, s.Title, s.Paper, time.Since(start).Seconds())
-		if *csvDir != "" {
-			if err := exportCSVs(*csvDir, s.ID, res); err != nil {
-				fmt.Fprintf(stderr, "latbench: exporting %s: %v\n", s.ID, err)
-				return 1
-			}
+		defer jf.abort()
+		if err := man.WriteJSON(jf); err != nil {
+			fmt.Fprintf(stderr, "latbench: writing manifest: %v\n", err)
+			return 1
 		}
-		if *svgDir != "" {
-			if err := exportSVGs(*svgDir, s.ID, res); err != nil {
-				fmt.Fprintf(stderr, "latbench: exporting %s: %v\n", s.ID, err)
-				return 1
-			}
+		if err := jf.commit(); err != nil {
+			fmt.Fprintf(stderr, "latbench: %v\n", err)
+			return 1
 		}
+	}
+
+	if outFile != nil {
+		if err := outFile.commit(); err != nil {
+			fmt.Fprintf(stderr, "latbench: %v\n", err)
+			return 1
+		}
+	}
+	if man.Failed() > 0 {
+		fmt.Fprintf(stderr, "latbench: %d of %d experiments failed\n", man.Failed(), len(man.Records))
+		return 1
 	}
 	return 0
 }
 
-// exportSVGs writes browser-viewable figures: an event time series per
-// event set, and a utilization profile per profile set.
-func exportSVGs(dir, id string, res experiments.Result) error {
+// firstLine trims a multi-line error (panic messages carry stacks) for
+// the console; the full text is preserved in the JSON manifest.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// atomicFile is a buffered file written under a temporary name and
+// renamed into place only on commit, so failures never leave a truncated
+// results file behind.
+type atomicFile struct {
+	path string
+	f    *os.File
+	bw   *bufio.Writer
+	done bool
+}
+
+func newAtomicFile(path string) (*atomicFile, error) {
+	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return nil, err
+	}
+	return &atomicFile{path: path, f: f, bw: bufio.NewWriter(f)}, nil
+}
+
+func (a *atomicFile) Write(p []byte) (int, error) { return a.bw.Write(p) }
+
+// commit flushes the buffer and renames the temp file to the final path.
+func (a *atomicFile) commit() error {
+	if a.done {
+		return nil
+	}
+	a.done = true
+	if err := a.bw.Flush(); err != nil {
+		a.f.Close()
+		os.Remove(a.f.Name())
+		return err
+	}
+	if err := a.f.Close(); err != nil {
+		os.Remove(a.f.Name())
+		return err
+	}
+	return os.Rename(a.f.Name(), a.path)
+}
+
+// abort discards the temp file; it is a no-op after commit.
+func (a *atomicFile) abort() {
+	if a.done {
+		return
+	}
+	a.done = true
+	a.f.Close()
+	os.Remove(a.f.Name())
+}
+
+// exportArtifacts writes every artifact the result carries: events as
+// CSV (when -csv-dir is set) and events/profiles/reports as SVGs (when
+// -svg-dir is set). Artifacts are exported in the order the result
+// declares them, so export is deterministic.
+func exportArtifacts(csvDir, svgDir, id string, res experiments.Result) error {
+	ap, ok := res.(experiments.ArtifactProvider)
+	if !ok {
+		return nil
+	}
+	for _, a := range ap.Artifacts() {
+		if csvDir != "" && a.Kind == experiments.ArtifactEvents {
+			if err := writeCSV(csvDir, id, a.Name, a); err != nil {
+				return fmt.Errorf("exporting %s: %w", id, err)
+			}
+		}
+		if svgDir != "" {
+			if err := writeSVGs(svgDir, id, a); err != nil {
+				return fmt.Errorf("exporting %s: %w", id, err)
+			}
+		}
+	}
+	return nil
+}
+
+func slug(name string) string {
+	return strings.ToLower(strings.ReplaceAll(name, " ", "-"))
+}
+
+func writeCSV(dir, id, name string, a experiments.Artifact) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(fmt.Sprintf("%s/%s-%s.csv", dir, id, slug(name)))
+	if err != nil {
+		return err
+	}
+	if err := viz.EventsCSV(f, a.Events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeSVGs renders one artifact's browser-viewable figures: a time
+// series per event set, histogram + cumulative curve per report, and a
+// utilization plot per profile.
+func writeSVGs(dir, id string, a experiments.Artifact) error {
 	writeSVG := func(name string, render func(w io.Writer) error) error {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return err
 		}
-		slug := strings.ToLower(strings.ReplaceAll(name, " ", "-"))
-		f, err := os.Create(fmt.Sprintf("%s/%s-%s.svg", dir, id, slug))
+		f, err := os.Create(fmt.Sprintf("%s/%s-%s.svg", dir, id, slug(name)))
 		if err != nil {
 			return err
 		}
@@ -119,77 +274,34 @@ func exportSVGs(dir, id string, res experiments.Result) error {
 		}
 		return f.Close()
 	}
-	if exp, ok := res.(experiments.EventsExporter); ok {
-		for name, events := range exp.EventSets() {
-			name, events := name, events
-			if err := writeSVG(name+"-events", func(w io.Writer) error {
-				return viz.TimeSeriesSVG(w, fmt.Sprintf("%s — %s", id, name), events, 100)
-			}); err != nil {
-				return err
+	switch a.Kind {
+	case experiments.ArtifactEvents:
+		return writeSVG(a.Name+"-events", func(w io.Writer) error {
+			return viz.TimeSeriesSVG(w, fmt.Sprintf("%s — %s", id, a.Name), a.Events, 100)
+		})
+	case experiments.ArtifactProfile:
+		return writeSVG(a.Name+"-profile", func(w io.Writer) error {
+			return viz.ProfileSVG(w, fmt.Sprintf("%s — %s", id, a.Name), a.Profile)
+		})
+	case experiments.ArtifactReport:
+		rep := a.Report
+		lats := rep.Latencies()
+		hi := 1.0
+		for _, l := range lats {
+			if l > hi {
+				hi = l
 			}
 		}
-	}
-	if exp, ok := res.(experiments.ReportExporter); ok {
-		for name, rep := range exp.Reports() {
-			name, rep := name, rep
-			lats := rep.Latencies()
-			hi := 1.0
-			for _, l := range lats {
-				if l > hi {
-					hi = l
-				}
-			}
-			if err := writeSVG(name+"-histogram", func(w io.Writer) error {
-				return viz.HistogramSVG(w, fmt.Sprintf("%s — %s", id, name),
-					rep.Histogram(0, hi*1.01, 24))
-			}); err != nil {
-				return err
-			}
-			if err := writeSVG(name+"-cumulative", func(w io.Writer) error {
-				return viz.CumulativeSVG(w, fmt.Sprintf("%s — %s", id, name),
-					rep.CumulativeCurve())
-			}); err != nil {
-				return err
-			}
-		}
-	}
-	if exp, ok := res.(experiments.ProfileExporter); ok {
-		for name, pts := range exp.ProfileSets() {
-			name, pts := name, pts
-			if err := writeSVG(name+"-profile", func(w io.Writer) error {
-				return viz.ProfileSVG(w, fmt.Sprintf("%s — %s", id, name), pts)
-			}); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-// exportCSVs writes one events CSV per named set for results that
-// implement experiments.EventsExporter.
-func exportCSVs(dir, id string, res experiments.Result) error {
-	exp, ok := res.(experiments.EventsExporter)
-	if !ok {
-		return nil
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	for name, events := range exp.EventSets() {
-		slug := strings.ToLower(strings.ReplaceAll(name, " ", "-"))
-		path := fmt.Sprintf("%s/%s-%s.csv", dir, id, slug)
-		f, err := os.Create(path)
-		if err != nil {
+		if err := writeSVG(a.Name+"-histogram", func(w io.Writer) error {
+			return viz.HistogramSVG(w, fmt.Sprintf("%s — %s", id, a.Name),
+				rep.Histogram(0, hi*1.01, 24))
+		}); err != nil {
 			return err
 		}
-		if err := viz.EventsCSV(f, events); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
+		return writeSVG(a.Name+"-cumulative", func(w io.Writer) error {
+			return viz.CumulativeSVG(w, fmt.Sprintf("%s — %s", id, a.Name),
+				rep.CumulativeCurve())
+		})
 	}
 	return nil
 }

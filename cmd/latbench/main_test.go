@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -143,5 +144,102 @@ func TestSVGExport(t *testing.T) {
 	}
 	if !strings.HasPrefix(string(data), "<svg ") {
 		t.Fatalf("not svg: %q", string(data[:20]))
+	}
+}
+
+func TestJobsDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole quick suite twice")
+	}
+	var seq, par, errBuf strings.Builder
+	if code := run([]string{"-quick", "-jobs", "1"}, &seq, &errBuf); code != 0 {
+		t.Fatalf("jobs=1 exit %d: %s", code, errBuf.String())
+	}
+	if code := run([]string{"-quick", "-jobs", "8"}, &par, &errBuf); code != 0 {
+		t.Fatalf("jobs=8 exit %d: %s", code, errBuf.String())
+	}
+	if seq.String() != par.String() {
+		t.Fatalf("-jobs 8 output differs from -jobs 1 (lens %d vs %d)", len(seq.String()), len(par.String()))
+	}
+}
+
+func TestJSONManifest(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "manifest.json")
+	var out, errBuf strings.Builder
+	if code := run([]string{"-quick", "-run", "fig1,fig4", "-jobs", "2", "-json", path}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man struct {
+		Jobs    int `json:"jobs"`
+		Records []struct {
+			ID          string  `json:"id"`
+			WallSeconds float64 `json:"wall_seconds"`
+			Error       string  `json:"error"`
+		} `json:"records"`
+	}
+	if err := json.Unmarshal(data, &man); err != nil {
+		t.Fatalf("manifest not JSON: %v", err)
+	}
+	if man.Jobs != 2 {
+		t.Fatalf("jobs = %d, want 2", man.Jobs)
+	}
+	if len(man.Records) != 2 || man.Records[0].ID != "fig1" || man.Records[1].ID != "fig4" {
+		t.Fatalf("records wrong: %+v", man.Records)
+	}
+	for _, r := range man.Records {
+		if r.WallSeconds <= 0 || r.Error != "" {
+			t.Fatalf("record %s: %+v", r.ID, r)
+		}
+	}
+}
+
+func TestTimeoutProducesFailedRecordAndExit1(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "manifest.json")
+	var out, errBuf strings.Builder
+	code := run([]string{"-quick", "-run", "fig1,fig4", "-timeout", "1ns", "-json", path}, &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "timed out") {
+		t.Fatalf("stderr missing timeout notice: %q", errBuf.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"timed_out": true`) {
+		t.Fatalf("manifest missing timed_out flag:\n%s", data)
+	}
+}
+
+func TestExportErrorLeavesNoOutFile(t *testing.T) {
+	dir := t.TempDir()
+	// A regular file where -svg-dir expects a directory makes export fail.
+	blocker := filepath.Join(dir, "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "results.txt")
+	var out, errBuf strings.Builder
+	if code := run([]string{"-quick", "-run", "fig4", "-svg-dir", blocker, "-out", outPath}, &out, &errBuf); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errBuf.String())
+	}
+	if _, err := os.Stat(outPath); !os.IsNotExist(err) {
+		t.Fatalf("truncated -out file left behind (stat err = %v)", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".results.txt.tmp") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
 	}
 }

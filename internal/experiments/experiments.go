@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -41,26 +42,86 @@ type Result interface {
 	Render(w io.Writer) error
 }
 
-// EventsExporter is implemented by results that can export their raw
-// per-event data (for external plotting); cmd/latbench writes one CSV
-// per named event set when -csv-dir is given.
-type EventsExporter interface {
-	// EventSets returns named event lists, e.g. {"nt40": [...]}.
-	EventSets() map[string][]core.Event
+// ArtifactKind classifies the data an Artifact carries.
+type ArtifactKind uint8
+
+// Artifact kinds.
+const (
+	// ArtifactEvents is a named list of extracted interactive events;
+	// cmd/latbench exports it as a CSV and an SVG time series.
+	ArtifactEvents ArtifactKind = iota
+	// ArtifactProfile is a named CPU-utilization profile; cmd/latbench
+	// exports it as an SVG profile plot.
+	ArtifactProfile
+	// ArtifactReport is a named latency report; cmd/latbench exports its
+	// histogram and cumulative curve as SVGs.
+	ArtifactReport
+)
+
+// String returns the manifest name of the kind.
+func (k ArtifactKind) String() string {
+	switch k {
+	case ArtifactEvents:
+		return "events"
+	case ArtifactProfile:
+		return "profile"
+	case ArtifactReport:
+		return "report"
+	default:
+		return fmt.Sprintf("ArtifactKind(%d)", uint8(k))
+	}
 }
 
-// ProfileExporter is implemented by results that can export utilization
-// profiles (for external plotting).
-type ProfileExporter interface {
-	// ProfileSets returns named profiles, e.g. {"nt40-full": [...]}.
-	ProfileSets() map[string][]core.ProfilePoint
+// Artifact is one exportable data product of an experiment: raw events,
+// a utilization profile, or a latency report. Exactly one of Events,
+// Profile, Report is set, selected by Kind. Artifacts replace the former
+// per-capability exporter interfaces so cmd/latbench (and the runner's
+// manifest) handle every result uniformly and in a deterministic order.
+type Artifact struct {
+	Kind ArtifactKind
+	// Name distinguishes artifacts of the same kind, e.g. the persona.
+	Name string
+
+	Events  []core.Event
+	Profile []core.ProfilePoint
+	Report  *core.Report
 }
 
-// ReportExporter is implemented by results built on latency reports;
-// cmd/latbench renders their histograms and cumulative curves as SVG.
-type ReportExporter interface {
-	// Reports returns named reports, e.g. {"Windows NT 4.0": ...}.
-	Reports() map[string]*core.Report
+// Samples returns the number of data points the artifact carries.
+func (a Artifact) Samples() int {
+	switch a.Kind {
+	case ArtifactEvents:
+		return len(a.Events)
+	case ArtifactProfile:
+		return len(a.Profile)
+	case ArtifactReport:
+		if a.Report != nil {
+			return len(a.Report.Events)
+		}
+	}
+	return 0
+}
+
+// EventsArtifact builds an ArtifactEvents artifact.
+func EventsArtifact(name string, events []core.Event) Artifact {
+	return Artifact{Kind: ArtifactEvents, Name: name, Events: events}
+}
+
+// ProfileArtifact builds an ArtifactProfile artifact.
+func ProfileArtifact(name string, pts []core.ProfilePoint) Artifact {
+	return Artifact{Kind: ArtifactProfile, Name: name, Profile: pts}
+}
+
+// ReportArtifact builds an ArtifactReport artifact.
+func ReportArtifact(name string, rep *core.Report) Artifact {
+	return Artifact{Kind: ArtifactReport, Name: name, Report: rep}
+}
+
+// ArtifactProvider is implemented by results that carry exportable data
+// products. The returned slice order is the export order, so it must be
+// deterministic for a given result.
+type ArtifactProvider interface {
+	Artifacts() []Artifact
 }
 
 // Spec describes one registered experiment.
@@ -71,33 +132,63 @@ type Spec struct {
 	Title string
 	// Paper cites the reproduced artifact.
 	Paper string
-	// Run executes the experiment.
-	Run func(cfg Config) Result
+	// Run executes the experiment. It must honor ctx cancellation at
+	// persona/trial granularity (the runner additionally enforces hard
+	// timeouts from outside) and report failures as errors rather than
+	// writing to the result.
+	Run func(ctx context.Context, cfg Config) (Result, error)
 }
 
 var registry []Spec
 
-func register(s Spec) {
+// Register adds s to the experiment registry. It panics on a duplicate,
+// empty, or Run-less spec so a misdeclared experiment fails at init time
+// rather than silently shadowing another.
+func Register(s Spec) {
+	if s.ID == "" {
+		panic("experiments: Register with empty ID")
+	}
+	if s.Run == nil {
+		panic(fmt.Sprintf("experiments: Register(%s) with nil Run", s.ID))
+	}
+	for _, old := range registry {
+		if old.ID == s.ID {
+			panic(fmt.Sprintf("experiments: duplicate experiment ID %q", s.ID))
+		}
+	}
 	registry = append(registry, s)
 }
 
 // All returns every registered experiment in paper order.
 func All() []Spec {
-	out := append([]Spec(nil), registry...)
-	sort.SliceStable(out, func(i, j int) bool { return order(out[i].ID) < order(out[j].ID) })
-	return out
+	return sortSpecs(registry)
 }
 
-// order fixes presentation order to follow the paper.
-func order(id string) int {
-	for i, v := range []string{"fig1", "fig3", "fig4", "fig5", "fig6", "fig7",
+// paperOrder fixes presentation order to follow the paper.
+var paperOrder = map[string]int{}
+
+func init() {
+	for i, id := range []string{"fig1", "fig3", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "table1", "fig9", "fig10", "fig11", "table2", "fig12", "s54",
 		"ext-batching", "ext-thinkwait", "ext-metric", "ext-slowcpu", "ext-interrupts"} {
-		if v == id {
-			return i
-		}
+		paperOrder[id] = i
 	}
-	return 99
+}
+
+// sortSpecs returns a copy of specs in paper order. IDs the paper
+// ordering does not know sort after every known one and keep their
+// relative order in specs (registration order), so new experiments get a
+// stable position without editing the paper list.
+func sortSpecs(specs []Spec) []Spec {
+	out := append([]Spec(nil), specs...)
+	rank := func(id string) int {
+		if r, ok := paperOrder[id]; ok {
+			return r
+		}
+		return len(paperOrder)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return rank(out[i].ID) < rank(out[j].ID) })
+	return out
 }
 
 // ByID returns the experiment with the given id.

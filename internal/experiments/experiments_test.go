@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -50,7 +51,7 @@ func TestRegistry(t *testing.T) {
 }
 
 func TestFig1(t *testing.T) {
-	r := runFig1(full()).(*Fig1Result)
+	r := mustRun(t, runFig1, full()).(*Fig1Result)
 	renderOK(t, r)
 	// The idle loop must report a larger latency than the conventional
 	// in-application measurement (Fig. 1: 9.76 vs 7.42 ms).
@@ -87,7 +88,7 @@ func TestFig1(t *testing.T) {
 }
 
 func TestFig3(t *testing.T) {
-	r := runFig3(full()).(*Fig3Result)
+	r := mustRun(t, runFig3, full()).(*Fig3Result)
 	renderOK(t, r)
 	if len(r.Systems) != 3 {
 		t.Fatalf("systems = %d", len(r.Systems))
@@ -117,7 +118,7 @@ func TestFig3(t *testing.T) {
 }
 
 func TestFig4(t *testing.T) {
-	r := runFig4(full()).(*Fig4Result)
+	r := mustRun(t, runFig4, full()).(*Fig4Result)
 	renderOK(t, r)
 	// One merged, gapped event with ≈22 animation spikes.
 	if !r.Event.Gapped {
@@ -151,7 +152,7 @@ func TestFig4(t *testing.T) {
 }
 
 func TestFig5(t *testing.T) {
-	r := runFig5(quick()).(*Fig5Result)
+	r := mustRun(t, runFig5, quick()).(*Fig5Result)
 	renderOK(t, r)
 	if len(r.Events) < 100 {
 		t.Fatalf("events = %d", len(r.Events))
@@ -179,7 +180,7 @@ func TestFig5(t *testing.T) {
 }
 
 func TestFig6(t *testing.T) {
-	r := runFig6(full()).(*Fig6Result)
+	r := mustRun(t, runFig6, full()).(*Fig6Result)
 	renderOK(t, r)
 	byName := map[string]Fig6Persona{}
 	for _, s := range r.Systems {
@@ -220,7 +221,7 @@ func TestFig6(t *testing.T) {
 }
 
 func TestFig7(t *testing.T) {
-	r := runFig7(full()).(*Fig7Result)
+	r := mustRun(t, runFig7, full()).(*Fig7Result)
 	renderOK(t, r)
 	byName := map[string]Fig7Persona{}
 	for _, s := range r.Systems {
@@ -260,9 +261,9 @@ func TestFig7(t *testing.T) {
 }
 
 func TestFig8AndTable1(t *testing.T) {
-	fig8 := runFig8(full()).(*Fig8Result)
+	fig8 := mustRun(t, runFig8, full()).(*Fig8Result)
 	renderOK(t, fig8)
-	table1 := runTable1(full()).(*Table1Result)
+	table1 := mustRun(t, runTable1, full()).(*Table1Result)
 	renderOK(t, table1)
 
 	// Six events with latency >1s on both systems, in nearly the same
@@ -349,7 +350,7 @@ func TestFig8AndTable1(t *testing.T) {
 }
 
 func TestFig9PageDownCounters(t *testing.T) {
-	r := runFig9(full()).(*CounterResult)
+	r := mustRun(t, runFig9, full()).(*CounterResult)
 	renderOK(t, r)
 	byLabel := map[string]int64{}
 	tlb := map[string]int64{}
@@ -381,7 +382,7 @@ func TestFig9PageDownCounters(t *testing.T) {
 }
 
 func TestFig10OLECounters(t *testing.T) {
-	r := runFig10(full()).(*CounterResult)
+	r := mustRun(t, runFig10, full()).(*CounterResult)
 	renderOK(t, r)
 	byLabel := map[string]int64{}
 	for _, m := range r.Systems {
@@ -397,7 +398,7 @@ func TestFig10OLECounters(t *testing.T) {
 }
 
 func TestFig11Word(t *testing.T) {
-	r := runFig11(full()).(*Fig11Result)
+	r := mustRun(t, runFig11, full()).(*Fig11Result)
 	renderOK(t, r)
 	byName := map[string]Fig11Persona{}
 	for _, s := range r.Systems {
@@ -426,7 +427,7 @@ func TestFig11Word(t *testing.T) {
 }
 
 func TestTable2Interarrival(t *testing.T) {
-	r := runTable2(full()).(*Table2Result)
+	r := mustRun(t, runTable2, full()).(*Table2Result)
 	renderOK(t, r)
 	if len(r.Rows) != 3 {
 		t.Fatalf("rows = %d", len(r.Rows))
@@ -458,7 +459,7 @@ func TestTable2Interarrival(t *testing.T) {
 }
 
 func TestFig12TimeSeries(t *testing.T) {
-	r := runFig12(full()).(*Fig12Result)
+	r := mustRun(t, runFig12, full()).(*Fig12Result)
 	renderOK(t, r)
 	if len(r.Systems) != 2 {
 		t.Fatalf("systems = %d", len(r.Systems))
@@ -481,7 +482,7 @@ func TestFig12TimeSeries(t *testing.T) {
 }
 
 func TestS54TestVsHand(t *testing.T) {
-	r := runS54(full()).(*S54Result)
+	r := mustRun(t, runS54, full()).(*S54Result)
 	renderOK(t, r)
 	if r.TestTypical.Mean < 70 || r.TestTypical.Mean > 110 {
 		t.Fatalf("Test typical = %.1fms, want ≈80-100", r.TestTypical.Mean)
@@ -497,5 +498,81 @@ func TestS54TestVsHand(t *testing.T) {
 	}
 	if r.HandBackgroundBursts <= r.TestBackgroundBursts {
 		t.Fatalf("hand background %d should exceed Test %d", r.HandBackgroundBursts, r.TestBackgroundBursts)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	run := func(context.Context, Config) (Result, error) { return nil, nil }
+	// fig1 is already registered; a duplicate must panic before mutating
+	// the registry.
+	before := len(All())
+	mustPanic("duplicate", func() { Register(Spec{ID: "fig1", Run: run}) })
+	mustPanic("empty id", func() { Register(Spec{Run: run}) })
+	mustPanic("nil run", func() { Register(Spec{ID: "unregistered-test-id"}) })
+	if got := len(All()); got != before {
+		t.Fatalf("failed Register mutated the registry: %d -> %d specs", before, got)
+	}
+}
+
+func TestSortSpecsUnknownIDsKeepRegistrationOrder(t *testing.T) {
+	run := func(context.Context, Config) (Result, error) { return nil, nil }
+	specs := []Spec{
+		{ID: "zz-new-2", Run: run},
+		{ID: "fig3", Run: run},
+		{ID: "aa-new-1", Run: run},
+		{ID: "fig1", Run: run},
+	}
+	got := sortSpecs(specs)
+	want := []string{"fig1", "fig3", "zz-new-2", "aa-new-1"}
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Fatalf("sortSpecs order[%d] = %s, want %s (unknown ids must keep registration order)", i, got[i].ID, id)
+		}
+	}
+}
+
+func TestRunHonorsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, f := range []func(context.Context, Config) (Result, error){
+		runFig1, runFig3, runFig7, runExtThinkWait,
+	} {
+		if _, err := f(ctx, quick()); err == nil {
+			t.Fatalf("cancelled context should abort the run")
+		}
+	}
+}
+
+func TestArtifactsAreDeterministic(t *testing.T) {
+	r := mustRun(t, runFig7, quick())
+	ap, ok := r.(ArtifactProvider)
+	if !ok {
+		t.Fatalf("Fig7Result must provide artifacts")
+	}
+	arts := ap.Artifacts()
+	// 3 personas x (events + report), declared in persona order.
+	if len(arts) != 6 {
+		t.Fatalf("artifacts = %d, want 6", len(arts))
+	}
+	again := ap.Artifacts()
+	for i := range arts {
+		if arts[i].Kind != again[i].Kind || arts[i].Name != again[i].Name {
+			t.Fatalf("artifact order not deterministic at %d: %v vs %v", i, arts[i], again[i])
+		}
+		if arts[i].Samples() == 0 {
+			t.Fatalf("artifact %s/%s has no samples", arts[i].Kind, arts[i].Name)
+		}
+	}
+	if arts[0].Kind != ArtifactEvents || arts[1].Kind != ArtifactReport {
+		t.Fatalf("per-persona artifact kinds wrong: %v, %v", arts[0].Kind, arts[1].Kind)
 	}
 }

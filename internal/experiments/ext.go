@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -62,7 +63,10 @@ func (r *ExtBatchingResult) Render(w io.Writer) error {
 	return nil
 }
 
-func runExtBatching(cfg Config) Result {
+func runExtBatching(ctx context.Context, cfg Config) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	chars := 300
 	if cfg.Quick {
 		chars = 80
@@ -87,7 +91,7 @@ func runExtBatching(cfg Config) Result {
 	res := &ExtBatchingResult{}
 	res.Paced, res.PacedRate, res.PacedBatched = run(120 * simtime.Millisecond) // ~100 wpm
 	res.Saturated, res.SaturatedRate, res.SaturatedBatched = run(0)             // infinitely fast user
-	return res
+	return res, nil
 }
 
 // ExtThinkWaitResult decomposes a session into think and wait time with
@@ -119,13 +123,16 @@ func (r *ExtThinkWaitResult) Render(w io.Writer) error {
 	return nil
 }
 
-func runExtThinkWait(cfg Config) Result {
+func runExtThinkWait(ctx context.Context, cfg Config) (Result, error) {
 	chars := 200
 	if cfg.Quick {
 		chars = 60
 	}
 	res := &ExtThinkWaitResult{}
 	for _, p := range persona.All() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r := newRig(p, 180)
 		n := apps.NewNotepad(r.sys, 250_000)
 		// Typing with composition pauses, then a simulated save-scale
@@ -149,7 +156,7 @@ func runExtThinkWait(cfg Config) Result {
 		})
 		r.shutdown()
 	}
-	return res
+	return res, nil
 }
 
 // ExtMetricResult evaluates the §3.1 responsiveness summation at several
@@ -186,13 +193,16 @@ func (r *ExtMetricResult) Render(w io.Writer) error {
 	return nil
 }
 
-func runExtMetric(cfg Config) Result {
+func runExtMetric(ctx context.Context, cfg Config) (Result, error) {
 	chars := 400
 	if cfg.Quick {
 		chars = 100
 	}
 	res := &ExtMetricResult{ThresholdsMs: []float64{50, core.PerceptionThresholdMs, 200, IrritationS}}
 	for _, p := range persona.NTs() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		events, _, _ := wordTrace(p, cfg.Seed, chars, true)
 		lats := core.Latencies(events)
 		vals := make([]float64, len(res.ThresholdsMs))
@@ -204,17 +214,17 @@ func runExtMetric(cfg Config) Result {
 			Values  []float64
 		}{Persona: p.Name, Values: vals})
 	}
-	return res
+	return res, nil
 }
 
 // IrritationS aliases the paper's 2 s "invariably irritates" floor in ms.
 const IrritationS = core.IrritationThresholdMs
 
 func init() {
-	register(Spec{ID: "ext-batching", Title: "The infinitely-fast-user distortion",
+	Register(Spec{ID: "ext-batching", Title: "The infinitely-fast-user distortion",
 		Paper: "§1.1 (extension)", Run: runExtBatching})
-	register(Spec{ID: "ext-thinkwait", Title: "Full think/wait FSM decomposition",
+	Register(Spec{ID: "ext-thinkwait", Title: "Full think/wait FSM decomposition",
 		Paper: "§2.3 Fig. 2 (extension)", Run: runExtThinkWait})
-	register(Spec{ID: "ext-metric", Title: "Scalar responsiveness metric exploration",
+	Register(Spec{ID: "ext-metric", Title: "Scalar responsiveness metric exploration",
 		Paper: "§3.1 (extension)", Run: runExtMetric})
 }

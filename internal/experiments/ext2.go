@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -49,13 +50,16 @@ func (r *ExtSlowCPUResult) Render(w io.Writer) error {
 	return nil
 }
 
-func runExtSlowCPU(cfg Config) Result {
+func runExtSlowCPU(ctx context.Context, cfg Config) (Result, error) {
 	chars := 150
 	if cfg.Quick {
 		chars = 60
 	}
 	res := &ExtSlowCPUResult{}
 	for _, mhz := range []int{100, 50, 20} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		p := persona.NT40()
 		p.Kernel.CPUFrequency = simtime.Hz(mhz) * 1_000_000
 
@@ -101,10 +105,10 @@ func runExtSlowCPU(cfg Config) Result {
 		})
 		r.shutdown()
 	}
-	return res
+	return res, nil
 }
 
 func init() {
-	register(Spec{ID: "ext-slowcpu", Title: "Perception thresholds on slower machines",
+	Register(Spec{ID: "ext-slowcpu", Title: "Perception thresholds on slower machines",
 		Paper: "§5.1 (extension)", Run: runExtSlowCPU})
 }

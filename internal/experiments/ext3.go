@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -50,11 +51,14 @@ func (r *ExtInterruptsResult) Render(w io.Writer) error {
 	return nil
 }
 
-func runExtInterrupts(cfg Config) Result {
+func runExtInterrupts(ctx context.Context, cfg Config) (Result, error) {
 	const n = 200
 	classes := []string{"clock", "keyboard", "mouse", "disk"}
 	res := &ExtInterruptsResult{Classes: classes}
 	for _, p := range persona.All() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		row := ExtInterruptsRow{Persona: p.Name, Cycles: map[string]float64{}}
 
 		stolenOf := func(inject func(k *rigKernel)) (stolen simtime.Duration, interrupts int64) {
@@ -98,13 +102,13 @@ func runExtInterrupts(cfg Config) Result {
 		}
 		res.Systems = append(res.Systems, row)
 	}
-	return res
+	return res, nil
 }
 
 // rigKernel is a tiny wrapper so the inject closure reads naturally.
 type rigKernel struct{ r *rig }
 
 func init() {
-	register(Spec{ID: "ext-interrupts", Title: "Interrupt handling overhead by class",
+	Register(Spec{ID: "ext-interrupts", Title: "Interrupt handling overhead by class",
 		Paper: "§2.5 (extension)", Run: runExtInterrupts})
 }

@@ -7,7 +7,7 @@ import (
 )
 
 func TestExtBatching(t *testing.T) {
-	r := runExtBatching(full()).(*ExtBatchingResult)
+	r := mustRun(t, runExtBatching, full()).(*ExtBatchingResult)
 	renderOK(t, r)
 	// The saturated ("infinitely fast user") run completes more events
 	// per second — throughput prefers it.
@@ -27,7 +27,7 @@ func TestExtBatching(t *testing.T) {
 }
 
 func TestExtThinkWait(t *testing.T) {
-	r := runExtThinkWait(full()).(*ExtThinkWaitResult)
+	r := mustRun(t, runExtThinkWait, full()).(*ExtThinkWaitResult)
 	renderOK(t, r)
 	if len(r.Systems) != 3 {
 		t.Fatalf("systems = %d", len(r.Systems))
@@ -64,7 +64,7 @@ func TestExtThinkWait(t *testing.T) {
 }
 
 func TestExtMetric(t *testing.T) {
-	r := runExtMetric(full()).(*ExtMetricResult)
+	r := mustRun(t, runExtMetric, full()).(*ExtMetricResult)
 	renderOK(t, r)
 	if len(r.Systems) != 2 || len(r.ThresholdsMs) != 4 {
 		t.Fatalf("shape wrong: %d systems, %d thresholds", len(r.Systems), len(r.ThresholdsMs))
@@ -88,7 +88,7 @@ func TestExtMetric(t *testing.T) {
 }
 
 func TestExtSlowCPU(t *testing.T) {
-	r := runExtSlowCPU(full()).(*ExtSlowCPUResult)
+	r := mustRun(t, runExtSlowCPU, full()).(*ExtSlowCPUResult)
 	renderOK(t, r)
 	if len(r.Rows) != 3 {
 		t.Fatalf("rows = %d", len(r.Rows))
@@ -116,7 +116,7 @@ func TestExtSlowCPU(t *testing.T) {
 }
 
 func TestExtInterrupts(t *testing.T) {
-	r := runExtInterrupts(full()).(*ExtInterruptsResult)
+	r := mustRun(t, runExtInterrupts, full()).(*ExtInterruptsResult)
 	renderOK(t, r)
 	byName := map[string]ExtInterruptsRow{}
 	for _, row := range r.Systems {
@@ -144,7 +144,7 @@ func TestExtInterrupts(t *testing.T) {
 }
 
 func TestExtBatchingCoalesces(t *testing.T) {
-	r := runExtBatching(full()).(*ExtBatchingResult)
+	r := mustRun(t, runExtBatching, full()).(*ExtBatchingResult)
 	if r.PacedBatched != 0 {
 		t.Fatalf("realistic pacing should never trigger batching, got %d", r.PacedBatched)
 	}

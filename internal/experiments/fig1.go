@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -48,7 +49,10 @@ func (r *Fig1Result) Render(w io.Writer) error {
 	return err
 }
 
-func runFig1(cfg Config) Result {
+func runFig1(ctx context.Context, cfg Config) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	p := persona.NT40()
 	r := newRig(p, 20)
 	defer r.shutdown()
@@ -117,11 +121,11 @@ func runFig1(cfg Config) Result {
 			}
 		}
 	}
-	return res
+	return res, nil
 }
 
 func init() {
-	register(Spec{
+	Register(Spec{
 		ID:    "fig1",
 		Title: "Idle-loop methodology validation (echo microbenchmark)",
 		Paper: "Fig. 1, §2.3",

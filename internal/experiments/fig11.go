@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -53,31 +54,26 @@ func (r *Fig11Result) Render(w io.Writer) error {
 	return nil
 }
 
-// Reports implements ReportExporter.
-func (r *Fig11Result) Reports() map[string]*core.Report {
-	out := map[string]*core.Report{}
+// Artifacts implements ArtifactProvider.
+func (r *Fig11Result) Artifacts() []Artifact {
+	var out []Artifact
 	for _, s := range r.Systems {
-		out[s.Persona] = s.Report
+		out = append(out, EventsArtifact(s.Persona, s.Report.Events),
+			ReportArtifact(s.Persona, s.Report))
 	}
 	return out
 }
 
-// EventSets implements EventsExporter.
-func (r *Fig11Result) EventSets() map[string][]core.Event {
-	out := map[string][]core.Event{}
-	for _, s := range r.Systems {
-		out[s.Persona] = s.Report.Events
-	}
-	return out
-}
-
-func runFig11(cfg Config) Result {
+func runFig11(ctx context.Context, cfg Config) (Result, error) {
 	chars := 1000
 	if cfg.Quick {
 		chars = 120
 	}
 	res := &Fig11Result{}
 	for _, p := range persona.NTs() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		events, elapsed, _ := wordTrace(p, cfg.Seed, chars, true)
 		rep := core.NewReport(events, elapsed)
 		res.Systems = append(res.Systems, Fig11Persona{
@@ -86,7 +82,7 @@ func runFig11(cfg Config) Result {
 			Summary: rep.Summary(),
 		})
 	}
-	return res
+	return res, nil
 }
 
 // Table2Row is one threshold's interarrival summary.
@@ -118,7 +114,10 @@ func (r *Table2Result) Render(w io.Writer) error {
 	return nil
 }
 
-func runTable2(cfg Config) Result {
+func runTable2(ctx context.Context, cfg Config) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	chars := 1000
 	if cfg.Quick {
 		chars = 150
@@ -132,12 +131,12 @@ func runTable2(cfg Config) Result {
 			ThresholdMs: th, Count: ia.Count, MeanSec: ia.MeanSec, StdDevSec: ia.StdDevSec,
 		})
 	}
-	return res
+	return res, nil
 }
 
 func init() {
-	register(Spec{ID: "fig11", Title: "Microsoft Word event latency summary",
+	Register(Spec{ID: "fig11", Title: "Microsoft Word event latency summary",
 		Paper: "Fig. 11, §5.4", Run: runFig11})
-	register(Spec{ID: "table2", Title: "Interarrival distributions for the Word benchmark",
+	Register(Spec{ID: "table2", Title: "Interarrival distributions for the Word benchmark",
 		Paper: "Table 2, §6", Run: runTable2})
 }

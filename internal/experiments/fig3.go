@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -46,22 +47,25 @@ func (r *Fig3Result) Render(w io.Writer) error {
 	return nil
 }
 
-// ProfileSets implements ProfileExporter.
-func (r *Fig3Result) ProfileSets() map[string][]core.ProfilePoint {
-	out := map[string][]core.ProfilePoint{}
+// Artifacts implements ArtifactProvider.
+func (r *Fig3Result) Artifacts() []Artifact {
+	var out []Artifact
 	for _, s := range r.Systems {
-		out[s.Persona] = s.Profile
+		out = append(out, ProfileArtifact(s.Persona, s.Profile))
 	}
 	return out
 }
 
-func runFig3(cfg Config) Result {
+func runFig3(ctx context.Context, cfg Config) (Result, error) {
 	seconds := 2
 	if cfg.Quick {
 		seconds = 1
 	}
 	res := &Fig3Result{}
 	for _, p := range persona.All() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r := newRig(p, seconds+2)
 		intrBefore := r.sys.K.CPU().Count(cpu.Interrupts)
 		stolenBefore := stolenTotal(r)
@@ -97,7 +101,7 @@ func runFig3(cfg Config) Result {
 		})
 		r.shutdown()
 	}
-	return res
+	return res, nil
 }
 
 func stolenTotal(r *rig) simtime.Duration {
@@ -109,7 +113,7 @@ func stolenTotal(r *rig) simtime.Duration {
 }
 
 func init() {
-	register(Spec{
+	Register(Spec{
 		ID:    "fig3",
 		Title: "Idle-system profiles for the three operating systems",
 		Paper: "Fig. 3, §2.5",

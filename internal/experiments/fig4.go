@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -47,15 +48,18 @@ func (r *Fig4Result) Render(w io.Writer) error {
 	return nil
 }
 
-// ProfileSets implements ProfileExporter.
-func (r *Fig4Result) ProfileSets() map[string][]core.ProfilePoint {
-	return map[string][]core.ProfilePoint{
-		"full-1ms":      r.Full,
-		"averaged-10ms": r.Averaged,
+// Artifacts implements ArtifactProvider.
+func (r *Fig4Result) Artifacts() []Artifact {
+	return []Artifact{
+		ProfileArtifact("full-1ms", r.Full),
+		ProfileArtifact("averaged-10ms", r.Averaged),
 	}
 }
 
-func runFig4(cfg Config) Result {
+func runFig4(ctx context.Context, cfg Config) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	p := persona.NT40()
 	r := newRig(p, 10)
 	defer r.shutdown()
@@ -100,11 +104,11 @@ func runFig4(cfg Config) Result {
 			res.AnimationSpikes = append(res.AnimationSpikes, bs.Start)
 		}
 	}
-	return res
+	return res, nil
 }
 
 func init() {
-	register(Spec{
+	Register(Spec{
 		ID:    "fig4",
 		Title: "CPU usage profile of a window-maximize animation",
 		Paper: "Fig. 4, §2.6",

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -87,12 +88,15 @@ func (r *Fig5Result) Render(w io.Writer) error {
 		r.Magnified, core.PerceptionThresholdMs, 110, 12)
 }
 
-// EventSets implements EventsExporter.
-func (r *Fig5Result) EventSets() map[string][]core.Event {
-	return map[string][]core.Event{"word-nt351": r.Events}
+// Artifacts implements ArtifactProvider.
+func (r *Fig5Result) Artifacts() []Artifact {
+	return []Artifact{EventsArtifact("word-nt351", r.Events)}
 }
 
-func runFig5(cfg Config) Result {
+func runFig5(ctx context.Context, cfg Config) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	chars := 1000
 	if cfg.Quick {
 		chars = 150
@@ -109,11 +113,11 @@ func runFig5(cfg Config) Result {
 			}
 		}
 	}
-	return res
+	return res, nil
 }
 
 func init() {
-	register(Spec{
+	Register(Spec{
 		ID:    "fig5",
 		Title: "Raw event-latency trace of the Word benchmark",
 		Paper: "Fig. 5, §3.2",

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -53,7 +54,7 @@ func (r *Fig6Result) Render(w io.Writer) error {
 	return nil
 }
 
-func runFig6(cfg Config) Result {
+func runFig6(ctx context.Context, cfg Config) (Result, error) {
 	trials := 35 // paper: "the mean of 30-40 trials, ignoring cold cache cases"
 	if cfg.Quick {
 		trials = 8
@@ -62,6 +63,9 @@ func runFig6(cfg Config) Result {
 	var holdSum float64
 	var holdCount int
 	for _, p := range persona.All() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rnd := rng.New(cfg.Seed + uint64(len(p.Short)))
 
 		// Unbound keystroke: the focused app passes it to DefWindowProc.
@@ -137,11 +141,11 @@ func runFig6(cfg Config) Result {
 		kr.shutdown()
 	}
 	res.MeanHoldMs = holdSum / float64(holdCount)
-	return res
+	return res, nil
 }
 
 func init() {
-	register(Spec{
+	Register(Spec{
 		ID:    "fig6",
 		Title: "Simple interactive events: unbound keystroke and mouse click",
 		Paper: "Fig. 6, §4",

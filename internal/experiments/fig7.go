@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -57,20 +58,12 @@ func (r *Fig7Result) Render(w io.Writer) error {
 	return nil
 }
 
-// Reports implements ReportExporter.
-func (r *Fig7Result) Reports() map[string]*core.Report {
-	out := map[string]*core.Report{}
+// Artifacts implements ArtifactProvider.
+func (r *Fig7Result) Artifacts() []Artifact {
+	var out []Artifact
 	for _, s := range r.Systems {
-		out[s.Persona] = s.Report
-	}
-	return out
-}
-
-// EventSets implements EventsExporter.
-func (r *Fig7Result) EventSets() map[string][]core.Event {
-	out := map[string][]core.Event{}
-	for _, s := range r.Systems {
-		out[s.Persona] = s.Report.Events
+		out = append(out, EventsArtifact(s.Persona, s.Report.Events),
+			ReportArtifact(s.Persona, s.Report))
 	}
 	return out
 }
@@ -95,13 +88,16 @@ func notepadScript(chars int) *input.Script {
 	return &input.Script{Events: evs, QueueSync: true}
 }
 
-func runFig7(cfg Config) Result {
+func runFig7(ctx context.Context, cfg Config) (Result, error) {
 	chars := 1300 // paper: "text entry of 1300 characters at ~100 wpm"
 	if cfg.Quick {
 		chars = 150
 	}
 	res := &Fig7Result{}
 	for _, p := range persona.All() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		script := notepadScript(chars)
 		seconds := int(script.End().Seconds()) + 10
 		r := newRig(p, seconds)
@@ -120,11 +116,11 @@ func runFig7(cfg Config) Result {
 		})
 		r.shutdown()
 	}
-	return res
+	return res, nil
 }
 
 func init() {
-	register(Spec{
+	Register(Spec{
 		ID:    "fig7",
 		Title: "Notepad event latency summary",
 		Paper: "Fig. 7, §5.1",

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"latlab/internal/apps"
 	"latlab/internal/core"
@@ -28,7 +30,19 @@ type labeledEvent struct {
 }
 
 // pptMemo caches task runs so fig8, table1 and fig12 don't re-simulate.
-var pptMemo = map[string]*pptRun{}
+// The runner schedules those experiments concurrently, so the cache is a
+// lock-protected singleflight: the first caller for a key simulates, any
+// concurrent caller for the same key waits for that run instead of
+// duplicating it. A cached *pptRun is immutable once published.
+var pptMemo = struct {
+	mu sync.Mutex
+	m  map[string]*pptMemoEntry
+}{m: map[string]*pptMemoEntry{}}
+
+type pptMemoEntry struct {
+	once sync.Once
+	run  *pptRun
+}
 
 // pptTask drives the paper's PowerPoint scenario on persona p: cold
 // boot, start PowerPoint, open the 46-page deck, page through it
@@ -37,10 +51,19 @@ var pptMemo = map[string]*pptRun{}
 // completion-based with ≥150 ms think times, matching the Test script.
 func pptTask(p persona.P, cfg Config) *pptRun {
 	key := fmt.Sprintf("%s/%v/%d", p.Short, cfg.Quick, cfg.Seed)
-	if r, ok := pptMemo[key]; ok {
-		return r
+	pptMemo.mu.Lock()
+	e, ok := pptMemo.m[key]
+	if !ok {
+		e = &pptMemoEntry{}
+		pptMemo.m[key] = e
 	}
+	pptMemo.mu.Unlock()
+	e.once.Do(func() { e.run = pptSimulate(p, cfg) })
+	return e.run
+}
 
+// pptSimulate performs the actual simulated task run behind pptTask.
+func pptSimulate(p persona.P, cfg Config) *pptRun {
 	params := apps.DefaultPowerpointParams()
 	pageDownsPerStop := []int{9, 10, 10} // reach slides 10, 20, 30
 	edits := 3
@@ -89,7 +112,6 @@ func pptTask(p persona.P, cfg Config) *pptRun {
 			li++
 		}
 	}
-	pptMemo[key] = run
 	return run
 }
 
@@ -129,27 +151,22 @@ func (r *Fig8Result) Render(w io.Writer) error {
 	return nil
 }
 
-// Reports implements ReportExporter.
-func (r *Fig8Result) Reports() map[string]*core.Report {
-	out := map[string]*core.Report{}
+// Artifacts implements ArtifactProvider.
+func (r *Fig8Result) Artifacts() []Artifact {
+	var out []Artifact
 	for _, s := range r.Systems {
-		out[s.Persona] = s.Report
+		out = append(out, EventsArtifact(s.Persona, s.Report.Events),
+			ReportArtifact(s.Persona, s.Report))
 	}
 	return out
 }
 
-// EventSets implements EventsExporter.
-func (r *Fig8Result) EventSets() map[string][]core.Event {
-	out := map[string][]core.Event{}
-	for _, s := range r.Systems {
-		out[s.Persona] = s.Report.Events
-	}
-	return out
-}
-
-func runFig8(cfg Config) Result {
+func runFig8(ctx context.Context, cfg Config) (Result, error) {
 	res := &Fig8Result{}
 	for _, p := range persona.NTs() { // W95 excluded, as in the paper (§5.2)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		run := pptTask(p, cfg)
 		filtered := core.FilterLatencyAbove(run.events, 50*simtime.Millisecond)
 		res.Systems = append(res.Systems, Fig8Persona{
@@ -157,7 +174,7 @@ func runFig8(cfg Config) Result {
 			Report:  core.NewReport(filtered, run.elapsed),
 		})
 	}
-	return res
+	return res, nil
 }
 
 // Table1Row is one long-latency event across the two NT systems.
@@ -186,9 +203,12 @@ func (r *Table1Result) Render(w io.Writer) error {
 	return nil
 }
 
-func runTable1(cfg Config) Result {
+func runTable1(ctx context.Context, cfg Config) (Result, error) {
 	runs := map[string]*pptRun{}
 	for _, p := range persona.NTs() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		runs[p.Short] = pptTask(p, cfg)
 	}
 	byLabel := func(run *pptRun) map[string]float64 {
@@ -205,8 +225,15 @@ func runTable1(cfg Config) Result {
 			res.Rows = append(res.Rows, Table1Row{Event: label, NT351Sec: l351[label], NT40Sec: l40[label]})
 		}
 	}
-	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].NT351Sec > res.Rows[j].NT351Sec })
-	return res
+	// Tie-break on the label so the rendered table (and therefore the
+	// whole suite output) is byte-stable across runs and job counts.
+	sort.Slice(res.Rows, func(i, j int) bool {
+		if res.Rows[i].NT351Sec != res.Rows[j].NT351Sec {
+			return res.Rows[i].NT351Sec > res.Rows[j].NT351Sec
+		}
+		return res.Rows[i].Event < res.Rows[j].Event
+	})
+	return res, nil
 }
 
 // Fig12Result is the time series of long-latency PowerPoint events
@@ -238,18 +265,21 @@ func (r *Fig12Result) Render(w io.Writer) error {
 	return nil
 }
 
-// EventSets implements EventsExporter.
-func (r *Fig12Result) EventSets() map[string][]core.Event {
-	out := map[string][]core.Event{}
+// Artifacts implements ArtifactProvider.
+func (r *Fig12Result) Artifacts() []Artifact {
+	var out []Artifact
 	for _, s := range r.Systems {
-		out[s.Persona] = s.Events
+		out = append(out, EventsArtifact(s.Persona, s.Events))
 	}
 	return out
 }
 
-func runFig12(cfg Config) Result {
+func runFig12(ctx context.Context, cfg Config) (Result, error) {
 	res := &Fig12Result{}
 	for _, p := range persona.NTs() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		run := pptTask(p, cfg)
 		long := core.FilterLatencyAbove(run.events, 50*simtime.Millisecond)
 		ia := core.NewReport(long, run.elapsed).Interarrival(50)
@@ -259,14 +289,14 @@ func runFig12(cfg Config) Result {
 			MeanInterarrivalMs float64
 		}{Persona: p.Name, Events: long, MeanInterarrivalMs: ia.MeanSec * 1000})
 	}
-	return res
+	return res, nil
 }
 
 func init() {
-	register(Spec{ID: "fig8", Title: "Powerpoint event latency summary",
+	Register(Spec{ID: "fig8", Title: "Powerpoint event latency summary",
 		Paper: "Fig. 8, §5.2", Run: runFig8})
-	register(Spec{ID: "table1", Title: "Powerpoint events with latency over one second",
+	Register(Spec{ID: "table1", Title: "Powerpoint events with latency over one second",
 		Paper: "Table 1, §5.2", Run: runTable1})
-	register(Spec{ID: "fig12", Title: "Time series of long-latency Powerpoint events",
+	Register(Spec{ID: "fig12", Title: "Time series of long-latency Powerpoint events",
 		Paper: "Fig. 12, §6", Run: runFig12})
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -55,11 +56,14 @@ func (r *CounterResult) Render(w io.Writer) error {
 
 // measurePerPersona runs op-measurement over all three personas using a
 // prepared rig per persona.
-func measureOp(id, title, operation string, cfg Config, warmups int,
-	prepare func(r *rig) (runOnce func())) *CounterResult {
+func measureOp(ctx context.Context, id, title, operation string, cfg Config, warmups int,
+	prepare func(r *rig) (runOnce func())) (*CounterResult, error) {
 	res := &CounterResult{id: id, Title: title, Operation: operation}
 	byShort := map[string]core.CounterMeasurement{}
 	for _, p := range persona.All() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r := newRig(p, 400)
 		runOnce := prepare(r)
 		for i := 0; i < warmups; i++ {
@@ -78,7 +82,7 @@ func measureOp(id, title, operation string, cfg Config, warmups int,
 	if base := tlb(byShort["nt40"]); base > 0 {
 		res.W95TLBRatio = tlb(byShort["w95"]) / base
 	}
-	return res
+	return res, nil
 }
 
 // pptWarmRig boots a persona with PowerPoint launched and opened, using
@@ -117,8 +121,8 @@ func quiesce(r *rig) {
 	panic("experiments: application never quiesced")
 }
 
-func runFig9(cfg Config) Result {
-	return measureOp("fig9",
+func runFig9(ctx context.Context, cfg Config) (Result, error) {
+	return liftCounters(measureOp(ctx, "fig9",
 		"Fig. 9 — Counter measurements for the Powerpoint page-down operation",
 		"page down to a page containing an OLE embedded graph (warm)",
 		cfg, 1,
@@ -130,13 +134,13 @@ func runFig9(cfg Config) Result {
 				})
 				quiesce(r)
 			}
-		})
+		}))
 }
 
-func runFig10(cfg Config) Result {
+func runFig10(ctx context.Context, cfg Config) (Result, error) {
 	// Three warm-up sessions walk the server's per-session extra-page
 	// schedule so the buffer cache is genuinely hot (paper §5.3).
-	return measureOp("fig10",
+	return liftCounters(measureOp(ctx, "fig10",
 		"Fig. 10 — Counter measurements for the OLE edit start-up (hot buffer cache)",
 		"start OLE edit session, hot cache",
 		cfg, 3,
@@ -153,12 +157,20 @@ func runFig10(cfg Config) Result {
 				})
 				quiesce(r)
 			}
-		})
+		}))
+}
+
+// liftCounters adapts measureOp's concrete result to the Spec.Run shape.
+func liftCounters(r *CounterResult, err error) (Result, error) {
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 func init() {
-	register(Spec{ID: "fig9", Title: "Counter measurements: Powerpoint page down",
+	Register(Spec{ID: "fig9", Title: "Counter measurements: Powerpoint page down",
 		Paper: "Fig. 9, §5.3", Run: runFig9})
-	register(Spec{ID: "fig10", Title: "Counter measurements: OLE edit start-up",
+	Register(Spec{ID: "fig10", Title: "Counter measurements: OLE edit start-up",
 		Paper: "Fig. 10, §5.3", Run: runFig10})
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -9,6 +10,17 @@ import (
 	"latlab/internal/persona"
 	"latlab/internal/simtime"
 )
+
+// mustRun executes an experiment run function with a background context
+// and fails the test on error.
+func mustRun(t *testing.T, f func(context.Context, Config) (Result, error), cfg Config) Result {
+	t.Helper()
+	res, err := f(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
 
 func TestFmtMs(t *testing.T) {
 	if got := fmtMs(2.345); got != "2.35ms" {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -43,7 +44,10 @@ func (r *S54Result) Render(w io.Writer) error {
 	return nil
 }
 
-func runS54(cfg Config) Result {
+func runS54(ctx context.Context, cfg Config) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	chars := 600
 	if cfg.Quick {
 		chars = 120
@@ -78,10 +82,10 @@ func runS54(cfg Config) Result {
 	res.HandTypical = typical(handEvents)
 	res.HandMaxMs = maxMs(handEvents)
 	res.HandBackgroundBursts = wHand.BackgroundBursts
-	return res
+	return res, nil
 }
 
 func init() {
-	register(Spec{ID: "s54", Title: "Word: Microsoft Test vs hand-generated input",
+	Register(Spec{ID: "s54", Title: "Word: Microsoft Test vs hand-generated input",
 		Paper: "§5.4", Run: runS54})
 }

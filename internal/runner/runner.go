@@ -1,0 +1,284 @@
+// Package runner schedules experiments across a worker pool. Each
+// experiment boots its own simulated machine, so the suite is
+// embarrassingly parallel; the runner's job is everything around that:
+// streaming results back in the caller's (paper) order regardless of
+// completion order, turning a panicking experiment into a failed run
+// record instead of a crashed suite, enforcing a per-experiment timeout
+// via context, and emitting a machine-readable manifest — one RunRecord
+// per experiment with timings, seed, and environment — so CI or an agent
+// can rank and re-run experiments without parsing the human rendering.
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"latlab/internal/experiments"
+)
+
+// Options tunes a suite run.
+type Options struct {
+	// Jobs is the worker-pool size; <=0 means runtime.NumCPU().
+	Jobs int
+	// Timeout bounds each experiment's wall time; 0 means no limit. A
+	// timed-out experiment becomes a failed RunRecord and its goroutine
+	// is abandoned (the simulators have no preemption hook), so the
+	// remaining experiments still complete.
+	Timeout time.Duration
+	// Config is passed to every experiment.
+	Config experiments.Config
+}
+
+// ArtifactRecord summarizes one exported artifact in a RunRecord.
+type ArtifactRecord struct {
+	Kind    string `json:"kind"`
+	Name    string `json:"name"`
+	Samples int    `json:"samples"`
+}
+
+// RunRecord is the machine-readable outcome of one experiment.
+type RunRecord struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Paper string `json:"paper"`
+	Seed  uint64 `json:"seed"`
+	Quick bool   `json:"quick"`
+	// WallSeconds is host time spent inside Spec.Run.
+	WallSeconds float64 `json:"wall_seconds"`
+	// SimSeconds is the longest simulated span any report artifact
+	// covers — how much machine time the experiment simulated, as far as
+	// its exported data shows. Zero when no artifact carries a report.
+	SimSeconds float64 `json:"sim_seconds"`
+	// Samples totals the data points across all artifacts.
+	Samples   int              `json:"samples"`
+	Artifacts []ArtifactRecord `json:"artifacts,omitempty"`
+	// Error is empty on success. Panics and timeouts land here too,
+	// flagged by Panicked / TimedOut.
+	Error    string `json:"error,omitempty"`
+	Panicked bool   `json:"panicked,omitempty"`
+	TimedOut bool   `json:"timed_out,omitempty"`
+}
+
+// Failed reports whether the experiment did not produce a result.
+func (r RunRecord) Failed() bool { return r.Error != "" }
+
+// Manifest is the structured record of a whole suite run.
+type Manifest struct {
+	StartedAt string  `json:"started_at"`
+	Seed      uint64  `json:"seed"`
+	Quick     bool    `json:"quick"`
+	Jobs      int     `json:"jobs"`
+	TimeoutS  float64 `json:"timeout_seconds,omitempty"`
+	GoVersion string  `json:"go_version"`
+	OS        string  `json:"os"`
+	Arch      string  `json:"arch"`
+	NumCPU    int     `json:"num_cpu"`
+	// WallSeconds is the wall time of the whole run; with -jobs > 1 it
+	// is less than the sum of the per-record wall times.
+	WallSeconds float64     `json:"wall_seconds"`
+	Records     []RunRecord `json:"records"`
+}
+
+// Failed counts records without a result.
+func (m *Manifest) Failed() int {
+	n := 0
+	for _, r := range m.Records {
+		if r.Failed() {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteJSON writes the manifest as indented JSON.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// Outcome pairs an experiment's record with its live result. Result is
+// nil when the record is failed.
+type Outcome struct {
+	Spec   experiments.Spec
+	Result experiments.Result
+	Record RunRecord
+}
+
+// Run executes specs on a worker pool of opt.Jobs goroutines and calls
+// emit (if non-nil) once per spec, in the order of specs, regardless of
+// completion order. A panicking or timed-out experiment is reported as a
+// failed record; the remaining experiments still run. If emit returns an
+// error the run is cancelled and that error returned; the manifest then
+// covers only the experiments that finished. The returned manifest lists
+// one record per emitted spec, in specs order.
+func Run(ctx context.Context, specs []experiments.Spec, opt Options, emit func(Outcome) error) (*Manifest, error) {
+	jobs := opt.Jobs
+	if jobs <= 0 {
+		jobs = runtime.NumCPU()
+	}
+	if jobs > len(specs) && len(specs) > 0 {
+		jobs = len(specs)
+	}
+	man := &Manifest{
+		StartedAt: time.Now().UTC().Format(time.RFC3339),
+		Seed:      opt.Config.Seed,
+		Quick:     opt.Config.Quick,
+		Jobs:      jobs,
+		TimeoutS:  opt.Timeout.Seconds(),
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	start := time.Now()
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type indexed struct {
+		i   int
+		out Outcome
+	}
+	work := make(chan int)
+	// Buffered so workers finishing after a cancellation never block on a
+	// collector that has already stopped reading.
+	results := make(chan indexed, len(specs))
+
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results <- indexed{i, runOne(ctx, specs[i], opt)}
+			}
+		}()
+	}
+	go func() {
+		defer close(work)
+		for i := range specs {
+			select {
+			case work <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() { wg.Wait(); close(results) }()
+
+	// Reorder buffer: outcomes are appended and emitted strictly in specs
+	// order, so the caller's rendering is deterministic however the pool
+	// schedules.
+	pending := make(map[int]Outcome, jobs)
+	next := 0
+	var emitErr error
+	for r := range results {
+		pending[r.i] = r.out
+		for {
+			out, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if emitErr != nil {
+				continue
+			}
+			man.Records = append(man.Records, out.Record)
+			if emit != nil {
+				if err := emit(out); err != nil {
+					emitErr = err
+					cancel()
+				}
+			}
+		}
+	}
+	man.WallSeconds = time.Since(start).Seconds()
+	if emitErr != nil {
+		return man, emitErr
+	}
+	return man, parent.Err()
+}
+
+// runOne executes a single spec under the per-experiment timeout,
+// converting panics and timeouts into failed records.
+func runOne(ctx context.Context, s experiments.Spec, opt Options) Outcome {
+	rec := RunRecord{
+		ID: s.ID, Title: s.Title, Paper: s.Paper,
+		Seed: opt.Config.Seed, Quick: opt.Config.Quick,
+	}
+	runCtx := ctx
+	cancel := func() {}
+	if opt.Timeout > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, opt.Timeout)
+	}
+	defer cancel()
+
+	type ret struct {
+		res      experiments.Result
+		err      error
+		panicked bool
+	}
+	done := make(chan ret, 1)
+	start := time.Now()
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				done <- ret{
+					err:      fmt.Errorf("panic: %v\n%s", p, debug.Stack()),
+					panicked: true,
+				}
+			}
+		}()
+		res, err := s.Run(runCtx, opt.Config)
+		done <- ret{res: res, err: err}
+	}()
+
+	select {
+	case r := <-done:
+		rec.WallSeconds = time.Since(start).Seconds()
+		if r.err != nil {
+			rec.Error = r.err.Error()
+			rec.Panicked = r.panicked
+			rec.TimedOut = errors.Is(r.err, context.DeadlineExceeded)
+			return Outcome{Spec: s, Record: rec}
+		}
+		summarize(r.res, &rec)
+		return Outcome{Spec: s, Result: r.res, Record: rec}
+	case <-runCtx.Done():
+		// The experiment ignored its context; abandon its goroutine and
+		// record the failure so the rest of the suite proceeds.
+		rec.WallSeconds = time.Since(start).Seconds()
+		rec.Error = runCtx.Err().Error()
+		rec.TimedOut = errors.Is(runCtx.Err(), context.DeadlineExceeded)
+		return Outcome{Spec: s, Record: rec}
+	}
+}
+
+// summarize fills the record's artifact inventory from the result.
+func summarize(res experiments.Result, rec *RunRecord) {
+	ap, ok := res.(experiments.ArtifactProvider)
+	if !ok {
+		return
+	}
+	for _, a := range ap.Artifacts() {
+		n := a.Samples()
+		rec.Artifacts = append(rec.Artifacts, ArtifactRecord{
+			Kind: a.Kind.String(), Name: a.Name, Samples: n,
+		})
+		rec.Samples += n
+		if a.Report != nil {
+			if s := a.Report.Elapsed.Seconds(); s > rec.SimSeconds {
+				rec.SimSeconds = s
+			}
+		}
+	}
+}

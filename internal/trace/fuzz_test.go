@@ -32,3 +32,34 @@ func FuzzParseIdleCSV(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseMsgCSV checks that arbitrary input never panics the message
+// parser and that anything it accepts survives a write/parse round trip.
+func FuzzParseMsgCSV(f *testing.F) {
+	const hdr = "api,call_ms,return_ms,received,kind,enqueued_ms,queue_len,thread\n"
+	f.Add(hdr + "GetMessage,1.000000,2.000000,true,3,0.500000,1,2\n")
+	f.Add(hdr + "PeekMessage,1.000000,1.000000,false,0,0.000000,0,1\n")
+	f.Add(hdr + "MsgAPI(7),0.000000,0.000000,true,-1,0.000000,0,0\n")
+	f.Add(hdr)
+	f.Add(hdr + "GetMessage,not,a,number,row,x,y,z\n")
+	f.Add(hdr + "GetMessage,1,2\n")
+	f.Add("bogus header\nGetMessage,1,2,true,0,1,0,0\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		recs, err := ParseMsgCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := WriteMsgCSV(&sb, recs); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := ParseMsgCSV(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed length: %d → %d", len(recs), len(again))
+		}
+	})
+}

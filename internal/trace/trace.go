@@ -8,6 +8,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"latlab/internal/simtime"
@@ -184,6 +185,22 @@ func ParseIdleCSV(r io.Reader) ([]IdleSample, error) {
 	return out, nil
 }
 
+// parseMsgAPI inverts MsgAPI.String: the two Win32 names plus the
+// MsgAPI(n) fallback for values outside the known set.
+func parseMsgAPI(s string) (MsgAPI, error) {
+	switch s {
+	case "GetMessage":
+		return GetMessage, nil
+	case "PeekMessage":
+		return PeekMessage, nil
+	}
+	var n uint8
+	if _, err := fmt.Sscanf(s, "MsgAPI(%d)", &n); err == nil && s == fmt.Sprintf("MsgAPI(%d)", n) {
+		return MsgAPI(n), nil
+	}
+	return 0, fmt.Errorf("trace: unknown message API %q", s)
+}
+
 // WriteMsgCSV writes message records as CSV with a header row.
 func WriteMsgCSV(w io.Writer, recs []MsgRecord) error {
 	if _, err := io.WriteString(w, "api,call_ms,return_ms,received,kind,enqueued_ms,queue_len,thread\n"); err != nil {
@@ -197,4 +214,64 @@ func WriteMsgCSV(w io.Writer, recs []MsgRecord) error {
 		}
 	}
 	return nil
+}
+
+// ParseMsgCSV parses the format written by WriteMsgCSV.
+func ParseMsgCSV(r io.Reader) ([]MsgRecord, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	const header = "api,call_ms,return_ms,received,kind,enqueued_ms,queue_len,thread"
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != header {
+		return nil, fmt.Errorf("trace: missing message CSV header")
+	}
+	var out []MsgRecord
+	for i, line := range lines[1:] {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != 8 {
+			return nil, fmt.Errorf("trace: line %d: want 8 fields, got %d", i+2, len(fields))
+		}
+		bad := func(col string, err error) error {
+			return fmt.Errorf("trace: line %d: %s: %w", i+2, col, err)
+		}
+		var rec MsgRecord
+		if rec.API, err = parseMsgAPI(fields[0]); err != nil {
+			return nil, bad("api", err)
+		}
+		callMs, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, bad("call_ms", err)
+		}
+		returnMs, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, bad("return_ms", err)
+		}
+		if rec.Received, err = strconv.ParseBool(fields[3]); err != nil {
+			return nil, bad("received", err)
+		}
+		if rec.Kind, err = strconv.Atoi(fields[4]); err != nil {
+			return nil, bad("kind", err)
+		}
+		enqMs, err := strconv.ParseFloat(fields[5], 64)
+		if err != nil {
+			return nil, bad("enqueued_ms", err)
+		}
+		if rec.QueueLen, err = strconv.Atoi(fields[6]); err != nil {
+			return nil, bad("queue_len", err)
+		}
+		if rec.Thread, err = strconv.Atoi(fields[7]); err != nil {
+			return nil, bad("thread", err)
+		}
+		rec.Call = simtime.Time(simtime.FromMillis(callMs))
+		rec.Return = simtime.Time(simtime.FromMillis(returnMs))
+		rec.Enqueued = simtime.Time(simtime.FromMillis(enqMs))
+		out = append(out, rec)
+	}
+	return out, nil
 }

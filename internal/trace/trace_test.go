@@ -164,3 +164,44 @@ func TestWriteMsgCSV(t *testing.T) {
 		t.Fatalf("row wrong: %q", got)
 	}
 }
+
+func TestMsgCSVRoundTrip(t *testing.T) {
+	in := []MsgRecord{
+		{API: GetMessage, Call: simtime.Time(simtime.Millisecond), Return: simtime.Time(3 * simtime.Millisecond),
+			Received: true, Kind: 7, Enqueued: simtime.Time(simtime.FromMillis(0.25)), QueueLen: 2, Thread: 1},
+		{API: PeekMessage, Call: simtime.Time(simtime.FromMillis(11.76)), Return: simtime.Time(simtime.FromMillis(11.76)),
+			Received: false, Kind: 0, Enqueued: 0, QueueLen: 0, Thread: 4},
+		{API: MsgAPI(9), Call: 0, Return: 0, Received: true, Kind: -3, Enqueued: 0, QueueLen: 0, Thread: 0},
+	}
+	var sb strings.Builder
+	if err := WriteMsgCSV(&sb, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseMsgCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip length %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestParseMsgCSVErrors(t *testing.T) {
+	cases := []string{
+		"bogus\nGetMessage,1,2,true,0,1,0,0\n",
+		"api,call_ms,return_ms,received,kind,enqueued_ms,queue_len,thread\nGetMessage,1,2\n",
+		"api,call_ms,return_ms,received,kind,enqueued_ms,queue_len,thread\nNoSuchAPI,1,2,true,0,1,0,0\n",
+		"api,call_ms,return_ms,received,kind,enqueued_ms,queue_len,thread\nGetMessage,x,2,true,0,1,0,0\n",
+		"api,call_ms,return_ms,received,kind,enqueued_ms,queue_len,thread\nGetMessage,1,2,maybe,0,1,0,0\n",
+	}
+	for i, c := range cases {
+		if _, err := ParseMsgCSV(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d should error:\n%s", i, c)
+		}
+	}
+}
