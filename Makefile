@@ -3,7 +3,15 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify bench repro quick examples clean
+# Hot-path benchmarks gated against committed BENCH_<date>.json
+# baselines. ns/op and allocs/op may regress at most BENCH_NS_TOL /
+# BENCH_ALLOC_TOL (fractions) before bench-check fails.
+BENCH_GATE_PAT  = ^(BenchmarkSimulatorThroughput|BenchmarkExtraction|BenchmarkSchedulePop|BenchmarkLRUTouch|BenchmarkWriteIdleCSV)$$
+BENCH_GATE_PKGS = . ./internal/eventq ./internal/mem ./internal/trace
+BENCH_NS_TOL    ?= 0.10
+BENCH_ALLOC_TOL ?= 0.10
+
+.PHONY: all build vet test race verify bench bench-baseline bench-check repro quick examples clean
 
 all: build verify
 
@@ -19,12 +27,31 @@ race:
 	$(GO) test -race ./...
 
 # The CI gate: vet plus the full suite under the race detector (the
-# runner is concurrent, so a plain `go test` can miss real bugs).
+# runner is concurrent, so a plain `go test` can miss real bugs), then
+# the benchmark regression gate. Set LATLAB_SKIP_BENCH=1 to skip the
+# benchmark gate (e.g. on loaded or incomparable hardware).
 verify: vet race
+	@if [ -z "$$LATLAB_SKIP_BENCH" ]; then \
+		$(MAKE) --no-print-directory bench-check; \
+	else \
+		echo "bench-check skipped (LATLAB_SKIP_BENCH set)"; \
+	fi
 
 # One benchmark per paper table/figure, plus ablations.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' .
+
+# Record today's hot-path numbers as the new baseline. Commit the file.
+bench-baseline:
+	$(GO) test -bench '$(BENCH_GATE_PAT)' -benchmem -run '^$$' $(BENCH_GATE_PKGS) \
+		| $(GO) run ./cmd/benchgate -record BENCH_$$(date +%Y-%m-%d).json
+
+# Fail if the hot paths regressed vs the newest committed baseline.
+# Pass BENCH_NS_TOL/BENCH_ALLOC_TOL to loosen, or add -skip-ns via
+# BENCH_CHECK_FLAGS when comparing across machines.
+bench-check:
+	$(GO) test -bench '$(BENCH_GATE_PAT)' -benchmem -run '^$$' $(BENCH_GATE_PKGS) \
+		| $(GO) run ./cmd/benchgate -check -ns-tol $(BENCH_NS_TOL) -alloc-tol $(BENCH_ALLOC_TOL) $(BENCH_CHECK_FLAGS)
 
 # Regenerate every table and figure at paper-sized workloads.
 repro:

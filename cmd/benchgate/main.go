@@ -1,0 +1,265 @@
+// Command benchgate records and enforces benchmark baselines. It reads
+// `go test -bench -benchmem` output on stdin and either writes a JSON
+// baseline (-record) or compares the results against the newest
+// committed baseline and exits non-zero on regression (-check).
+//
+// Usage:
+//
+//	go test -bench ... -benchmem | benchgate -record BENCH_2026-08-05.json
+//	go test -bench ... -benchmem | benchgate -check [-dir .] [-ns-tol 0.10] [-alloc-tol 0.10]
+//
+// ns/op is wall-clock and inherently noisy; allocs/op is deterministic.
+// Both gates default to a 10% tolerance, overridable per run. A check
+// against a baseline recorded on different hardware can disable the
+// ns/op gate with -skip-ns while keeping the allocation gate strict.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark's measured costs.
+type Result struct {
+	Pkg         string  `json:"pkg,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Iterations  int64   `json:"iterations"`
+}
+
+// Baseline is the recorded state of the benchmark suite.
+type Baseline struct {
+	Generated  string            `json:"generated"`
+	GoOS       string            `json:"goos,omitempty"`
+	GoArch     string            `json:"goarch,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	record := fs.String("record", "", "write a baseline JSON to this path")
+	check := fs.Bool("check", false, "compare stdin results against the newest baseline")
+	dir := fs.String("dir", ".", "directory searched for BENCH_*.json baselines")
+	baselinePath := fs.String("baseline", "", "explicit baseline file (overrides -dir discovery)")
+	nsTol := fs.Float64("ns-tol", 0.10, "allowed fractional ns/op regression")
+	allocTol := fs.Float64("alloc-tol", 0.10, "allowed fractional allocs/op regression")
+	skipNs := fs.Bool("skip-ns", false, "skip the ns/op gate (cross-machine checks)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if (*record == "") == !*check {
+		fmt.Fprintln(stderr, "benchgate: exactly one of -record or -check is required")
+		return 2
+	}
+
+	cur, err := parseBenchOutput(stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	if len(cur.Benchmarks) == 0 {
+		fmt.Fprintln(stderr, "benchgate: no benchmark results on stdin")
+		return 2
+	}
+
+	if *record != "" {
+		cur.Generated = time.Now().UTC().Format(time.RFC3339)
+		data, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "benchgate: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(*record, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "benchgate: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "benchgate: recorded %d benchmarks to %s\n", len(cur.Benchmarks), *record)
+		return 0
+	}
+
+	path := *baselinePath
+	if path == "" {
+		if path, err = newestBaseline(*dir); err != nil {
+			fmt.Fprintf(stderr, "benchgate: %v\n", err)
+			return 2
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(stderr, "benchgate: %s: %v\n", path, err)
+		return 2
+	}
+
+	failures := compare(&base, cur, *nsTol, *allocTol, *skipNs)
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := cur.Benchmarks[name]
+		if b, ok := base.Benchmarks[name]; ok {
+			fmt.Fprintf(stdout, "benchgate: %-32s ns/op %12.0f → %12.0f (%+.1f%%)  allocs/op %7.0f → %7.0f (%+.1f%%)\n",
+				name, b.NsPerOp, c.NsPerOp, pct(b.NsPerOp, c.NsPerOp),
+				b.AllocsPerOp, c.AllocsPerOp, pct(b.AllocsPerOp, c.AllocsPerOp))
+		} else {
+			fmt.Fprintf(stdout, "benchgate: %-32s not in baseline (new benchmark)\n", name)
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(stderr, "benchgate: FAIL %s\n", f)
+		}
+		fmt.Fprintf(stderr, "benchgate: %d regression(s) vs %s\n", len(failures), path)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchgate: OK vs %s\n", path)
+	return 0
+}
+
+// pct returns the percent change from base to cur (0 when base is 0).
+func pct(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur - base) / base * 100
+}
+
+// compare returns one message per gated regression of cur vs base.
+func compare(base, cur *Baseline, nsTol, allocTol float64, skipNs bool) []string {
+	var failures []string
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but not in current run", name))
+			continue
+		}
+		if !skipNs && c.NsPerOp > b.NsPerOp*(1+nsTol) {
+			failures = append(failures, fmt.Sprintf("%s: ns/op %.0f exceeds baseline %.0f by more than %.0f%%",
+				name, c.NsPerOp, b.NsPerOp, nsTol*100))
+		}
+		if c.AllocsPerOp > b.AllocsPerOp*(1+allocTol) {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %.0f exceeds baseline %.0f by more than %.0f%%",
+				name, c.AllocsPerOp, b.AllocsPerOp, allocTol*100))
+		}
+	}
+	return failures
+}
+
+// newestBaseline returns the lexically greatest BENCH_*.json in dir —
+// the newest, since the naming convention embeds an ISO date.
+func newestBaseline(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	if len(matches) == 0 {
+		return "", fmt.Errorf("no BENCH_*.json baseline in %s (run `make bench-baseline` first)", dir)
+	}
+	sort.Strings(matches)
+	return matches[len(matches)-1], nil
+}
+
+// parseBenchOutput extracts benchmark lines and environment headers from
+// `go test -bench -benchmem` output.
+func parseBenchOutput(r io.Reader) (*Baseline, error) {
+	out := &Baseline{Benchmarks: make(map[string]Result)}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			out.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			out.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			out.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			name, res, err := parseBenchLine(line)
+			if err != nil {
+				return nil, err
+			}
+			if prev, dup := out.Benchmarks[name]; dup {
+				return nil, fmt.Errorf("duplicate benchmark %s (pkgs %s, %s): use -count=1 and unique names", name, prev.Pkg, pkg)
+			}
+			res.Pkg = pkg
+			out.Benchmarks[name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkExtraction-8  8325  138403 ns/op  85984 B/op  14 allocs/op
+func parseBenchLine(line string) (string, Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", Result{}, fmt.Errorf("malformed benchmark line: %q", line)
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix so baselines are stable across -cpu.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	var res Result
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Result{}, fmt.Errorf("bad iteration count in %q: %w", line, err)
+	}
+	res.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Result{}, fmt.Errorf("bad value in %q: %w", line, err)
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		}
+	}
+	if res.NsPerOp == 0 && res.AllocsPerOp == 0 && res.BytesPerOp == 0 {
+		return "", Result{}, fmt.Errorf("no recognized metrics in %q (did you pass -benchmem?)", line)
+	}
+	return name, res, nil
+}

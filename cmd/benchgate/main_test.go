@@ -1,0 +1,151 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: latlab
+cpu: Test CPU @ 3.0GHz
+BenchmarkSimulatorThroughput-8   	     142	   8454210 ns/op	 1039617 B/op	     110 allocs/op
+BenchmarkExtraction-8            	    8325	    138403 ns/op	   85984 B/op	      14 allocs/op
+PASS
+ok  	latlab	12.3s
+pkg: latlab/internal/eventq
+BenchmarkSchedulePop-8           	12345678	        95.5 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	latlab/internal/eventq	1.5s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	base, err := parseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.GoOS != "linux" || base.CPU != "Test CPU @ 3.0GHz" {
+		t.Fatalf("env headers wrong: %+v", base)
+	}
+	if len(base.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(base.Benchmarks))
+	}
+	th := base.Benchmarks["BenchmarkSimulatorThroughput"]
+	if th.NsPerOp != 8454210 || th.AllocsPerOp != 110 || th.BytesPerOp != 1039617 || th.Pkg != "latlab" {
+		t.Fatalf("throughput parsed wrong: %+v", th)
+	}
+	sp := base.Benchmarks["BenchmarkSchedulePop"]
+	if sp.NsPerOp != 95.5 || sp.Pkg != "latlab/internal/eventq" {
+		t.Fatalf("GOMAXPROCS suffix or pkg handling wrong: %+v", sp)
+	}
+}
+
+func TestParseBenchLineErrors(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX-8",
+		"BenchmarkX-8 notanumber 5 ns/op",
+		"BenchmarkX-8 10 bogus ns/op",
+		"BenchmarkX-8 10 5 furlongs/op",
+	} {
+		if _, _, err := parseBenchLine(line); err == nil {
+			t.Fatalf("line should not parse: %q", line)
+		}
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := &Baseline{Benchmarks: map[string]Result{
+		"BenchmarkA": {NsPerOp: 1000, AllocsPerOp: 100},
+		"BenchmarkB": {NsPerOp: 1000, AllocsPerOp: 0},
+	}}
+	ok := &Baseline{Benchmarks: map[string]Result{
+		"BenchmarkA": {NsPerOp: 1050, AllocsPerOp: 100}, // +5% ns: within tolerance
+		"BenchmarkB": {NsPerOp: 900, AllocsPerOp: 0},
+	}}
+	if f := compare(base, ok, 0.10, 0.10, false); len(f) != 0 {
+		t.Fatalf("unexpected failures: %v", f)
+	}
+	bad := &Baseline{Benchmarks: map[string]Result{
+		"BenchmarkA": {NsPerOp: 1200, AllocsPerOp: 150}, // both gates blown
+		"BenchmarkB": {NsPerOp: 1000, AllocsPerOp: 1},   // any alloc vs 0 baseline fails
+	}}
+	f := compare(base, bad, 0.10, 0.10, false)
+	if len(f) != 3 {
+		t.Fatalf("want 3 failures, got %v", f)
+	}
+	// -skip-ns keeps the allocation gate only.
+	if f := compare(base, bad, 0.10, 0.10, true); len(f) != 2 {
+		t.Fatalf("want 2 failures with -skip-ns, got %v", f)
+	}
+	// A benchmark vanishing from the run is itself a failure.
+	missing := &Baseline{Benchmarks: map[string]Result{
+		"BenchmarkA": {NsPerOp: 1000, AllocsPerOp: 100},
+	}}
+	if f := compare(base, missing, 0.10, 0.10, false); len(f) != 1 {
+		t.Fatalf("want 1 failure for missing benchmark, got %v", f)
+	}
+}
+
+func TestRecordThenCheck(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_2026-08-05.json")
+	var out, errOut strings.Builder
+	if code := run([]string{"-record", path}, strings.NewReader(sampleOutput), &out, &errOut); code != 0 {
+		t.Fatalf("record exited %d: %s", code, errOut.String())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	if code := run([]string{"-check", "-dir", dir}, strings.NewReader(sampleOutput), &out, &errOut); code != 0 {
+		t.Fatalf("check of identical results exited %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "benchgate: OK") {
+		t.Fatalf("missing OK line: %s", out.String())
+	}
+
+	regressed := strings.Replace(sampleOutput, "110 allocs/op", "500 allocs/op", 1)
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-check", "-dir", dir}, strings.NewReader(regressed), &out, &errOut); code != 1 {
+		t.Fatalf("regressed check exited %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "allocs/op") {
+		t.Fatalf("failure should name the blown gate: %s", errOut.String())
+	}
+}
+
+func TestNewestBaselinePicksLatestDate(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_2026-07-01.json", "BENCH_2026-08-05.json", "BENCH_2025-12-31.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := newestBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_2026-08-05.json" {
+		t.Fatalf("newest = %s", got)
+	}
+	if _, err := newestBaseline(t.TempDir()); err == nil {
+		t.Fatalf("empty dir should error")
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, strings.NewReader(""), &out, &errOut); code != 2 {
+		t.Fatalf("no mode should exit 2, got %d", code)
+	}
+	if code := run([]string{"-record", "x", "-check"}, strings.NewReader(""), &out, &errOut); code != 2 {
+		t.Fatalf("both modes should exit 2, got %d", code)
+	}
+	if code := run([]string{"-check"}, strings.NewReader("PASS\n"), &out, &errOut); code != 2 {
+		t.Fatalf("empty input should exit 2, got %d", code)
+	}
+}

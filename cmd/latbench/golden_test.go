@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"latlab/internal/experiments"
+)
+
+// -update regenerates the golden corpus instead of comparing against it:
+//
+//	go test ./cmd/latbench -update
+var update = flag.Bool("update", false, "rewrite testdata/golden files from current output")
+
+// TestGoldenQuick locks the quick-mode rendering of every registered
+// experiment byte-for-byte. The simulator is deterministic by
+// construction, so any diff here is a behaviour change — in particular
+// the performance work on the event queue, scheduler, and trace path is
+// required to leave this corpus untouched.
+func TestGoldenQuick(t *testing.T) {
+	for _, spec := range experiments.All() {
+		spec := spec
+		t.Run(spec.ID, func(t *testing.T) {
+			t.Parallel()
+			var out, errBuf strings.Builder
+			if code := run([]string{"-quick", "-run", spec.ID}, &out, &errBuf); code != 0 {
+				t.Fatalf("exit %d: %s", code, errBuf.String())
+			}
+			path := filepath.Join("testdata", "golden", spec.ID+".txt")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(out.String()), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test ./cmd/latbench -update`): %v", err)
+			}
+			if !bytes.Equal(want, []byte(out.String())) {
+				t.Fatalf("output differs from %s (lens %d vs %d):\n%s",
+					path, len(want), out.Len(), firstDiff(want, []byte(out.String())))
+			}
+		})
+	}
+}
+
+// firstDiff renders the first divergent line of two byte slices, with a
+// little context, so a golden failure is actionable without an external
+// diff tool.
+func firstDiff(want, got []byte) string {
+	wl := strings.Split(string(want), "\n")
+	gl := strings.Split(string(got), "\n")
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if wl[i] != gl[i] {
+			return "line " + strconv.Itoa(i+1) + ":\n  want: " + wl[i] + "\n  got:  " + gl[i]
+		}
+	}
+	return "line " + strconv.Itoa(n+1) + ": one output is a prefix of the other"
+}

@@ -2,8 +2,10 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -147,19 +149,64 @@ func TestSVGExport(t *testing.T) {
 	}
 }
 
+// TestJobsDeterminism runs the full quick suite at -jobs 1, 4, and 8 and
+// asserts the rendered output is byte-identical and the JSON manifests
+// are identical modulo timing fields (and the jobs count itself, which
+// is part of the run configuration being varied).
 func TestJobsDeterminism(t *testing.T) {
 	if testing.Short() {
-		t.Skip("runs the whole quick suite twice")
+		t.Skip("runs the whole quick suite three times")
 	}
-	var seq, par, errBuf strings.Builder
-	if code := run([]string{"-quick", "-jobs", "1"}, &seq, &errBuf); code != 0 {
-		t.Fatalf("jobs=1 exit %d: %s", code, errBuf.String())
+	type result struct {
+		render string
+		man    map[string]any
 	}
-	if code := run([]string{"-quick", "-jobs", "8"}, &par, &errBuf); code != 0 {
-		t.Fatalf("jobs=8 exit %d: %s", code, errBuf.String())
+	dir := t.TempDir()
+	results := make(map[int]result)
+	for _, jobs := range []int{1, 4, 8} {
+		path := filepath.Join(dir, fmt.Sprintf("manifest-%d.json", jobs))
+		var out, errBuf strings.Builder
+		if code := run([]string{"-quick", "-jobs", strconv.Itoa(jobs), "-json", path}, &out, &errBuf); code != 0 {
+			t.Fatalf("jobs=%d exit %d: %s", jobs, code, errBuf.String())
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var man map[string]any
+		if err := json.Unmarshal(data, &man); err != nil {
+			t.Fatalf("jobs=%d manifest not JSON: %v", jobs, err)
+		}
+		stripTimingFields(man)
+		results[jobs] = result{render: out.String(), man: man}
 	}
-	if seq.String() != par.String() {
-		t.Fatalf("-jobs 8 output differs from -jobs 1 (lens %d vs %d)", len(seq.String()), len(par.String()))
+	base := results[1]
+	for _, jobs := range []int{4, 8} {
+		r := results[jobs]
+		if r.render != base.render {
+			t.Errorf("-jobs %d render differs from -jobs 1 (lens %d vs %d)", jobs, len(r.render), len(base.render))
+		}
+		got, _ := json.Marshal(r.man)
+		want, _ := json.Marshal(base.man)
+		if string(got) != string(want) {
+			t.Errorf("-jobs %d manifest differs from -jobs 1:\n got: %s\nwant: %s", jobs, got, want)
+		}
+	}
+}
+
+// stripTimingFields zeroes the manifest fields that legitimately vary
+// between runs: wall-clock timings, the start stamp, and the varied jobs
+// count.
+func stripTimingFields(man map[string]any) {
+	delete(man, "started_at")
+	delete(man, "wall_seconds")
+	delete(man, "jobs")
+	if recs, ok := man["records"].([]any); ok {
+		for _, r := range recs {
+			if rec, ok := r.(map[string]any); ok {
+				delete(rec, "wall_seconds")
+			}
+		}
 	}
 }
 

@@ -69,28 +69,68 @@ func Extract(samples []trace.IdleSample, msgs []trace.MsgRecord, opts ExtractOpt
 		opts.End = samples[len(samples)-1].Done
 	}
 
-	var recs []trace.MsgRecord
+	// Count-then-fill keeps the analysis path at a handful of exact
+	// allocations however large the trace is.
+	nrecs := 0
 	for _, m := range msgs {
 		if m.Thread == opts.Thread {
-			recs = append(recs, m)
+			nrecs++
+		}
+	}
+	var recs []trace.MsgRecord
+	if nrecs == len(msgs) {
+		recs = msgs // single-thread trace: no copy needed, Extract only reads
+	} else {
+		recs = make([]trace.MsgRecord, 0, nrecs)
+		for _, m := range msgs {
+			if m.Thread == opts.Thread {
+				recs = append(recs, m)
+			}
 		}
 	}
 	spans := BusySpans(samples, opts.BusyThreshold)
 
 	// Anchor records: user-input dequeues.
-	var anchors []int
+	nanchors := 0
+	for _, m := range recs {
+		if m.Received && kernel.MsgKind(m.Kind).UserInput() {
+			nanchors++
+		}
+	}
+	if nanchors == 0 {
+		return nil
+	}
+	anchors := make([]int, 0, nanchors)
 	for i, m := range recs {
 		if m.Received && kernel.MsgKind(m.Kind).UserInput() {
 			anchors = append(anchors, i)
 		}
 	}
 
-	var events []Event
+	// nextBlock[i] is the call time of the first blocking GetMessage at
+	// or after record i (opts.End when none): one backward pass replaces
+	// a forward scan per anchor, which was quadratic in trace length.
+	nextBlock := make([]simtime.Time, len(recs)+1)
+	nextBlock[len(recs)] = opts.End
+	for i := len(recs) - 1; i >= 0; i-- {
+		if recs[i].API == trace.GetMessage && !recs[i].Received {
+			nextBlock[i] = recs[i].Call
+		} else {
+			nextBlock[i] = nextBlock[i+1]
+		}
+	}
+
+	events := make([]Event, 0, nanchors)
 	var prevEnd simtime.Time
 	// consumed tracks how much of each busy span's stolen mass has been
 	// attributed to earlier events: back-to-back handling of queued
 	// inputs produces one long span shared between events.
 	consumed := make([]simtime.Duration, len(spans))
+	// lo is the first span that can still overlap the current window.
+	// Event windows have non-decreasing starts (each starts no earlier
+	// than max(its enqueue, the previous event's end)), so spans wholly
+	// before the current window are dead for all later windows too.
+	lo := 0
 	for ai, idx := range anchors {
 		m := recs[idx]
 		e := Event{
@@ -101,13 +141,7 @@ func Extract(samples []trace.IdleSample, msgs []trace.MsgRecord, opts ExtractOpt
 
 		// Boundary: the application's next blocking wait (logged at call
 		// time by the monitor), capped by the next anchor's dequeue.
-		boundary := opts.End
-		for j := idx + 1; j < len(recs); j++ {
-			if recs[j].API == trace.GetMessage && !recs[j].Received {
-				boundary = recs[j].Call
-				break
-			}
-		}
+		boundary := nextBlock[idx+1]
 		if ai+1 < len(anchors) {
 			next := recs[anchors[ai+1]]
 			if next.Return < boundary {
@@ -130,7 +164,14 @@ func Extract(samples []trace.IdleSample, msgs []trace.MsgRecord, opts ExtractOpt
 		gaps := false
 		covered := false
 		var busy simtime.Duration
-		for i, bs := range spans {
+		for lo < len(spans) && spans[lo].Span.End <= window.Start {
+			lo++
+		}
+		for i := lo; i < len(spans); i++ {
+			bs := spans[i]
+			if bs.Span.Start >= window.End {
+				break // spans are time-ordered; none later can overlap
+			}
 			if !bs.Span.Overlaps(window) {
 				continue
 			}

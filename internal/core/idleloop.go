@@ -71,8 +71,12 @@ func StartIdleLoop(k *kernel.Kernel, bufCap int) *IdleLoop {
 	il.thread = k.Spawn("idleloop", kernel.KernelProc, kernel.IdlePriority, func(tc *kernel.TC) {
 		for !il.buf.Full() {
 			start := tc.Cycles()
-			tc.Compute(loopSeg)
-			tc.Compute(recordSeg)
+			// One batched request per sample: the busy-wait and the
+			// record generation cost exactly what two Compute calls
+			// would, but the simulator handshake fires once per record
+			// — keeping the instrument's own overhead minimal, as the
+			// paper requires of its idle loop (§2.2).
+			tc.Compute2(loopSeg, recordSeg)
 			end := tc.Cycles()
 			il.buf.Append(trace.IdleSample{
 				Done:    simtime.Time(freq.DurationOf(end)),
@@ -106,23 +110,25 @@ func (il *IdleLoop) N() int64 { return il.n }
 // lost cycle.
 func BusySpans(samples []trace.IdleSample, threshold simtime.Duration) []BusySpan {
 	var spans []BusySpan
-	var cur *BusySpan
+	var cur BusySpan
+	open := false
 	for _, s := range samples {
 		stolen := s.Stolen(NominalSample)
 		if stolen > threshold {
-			if cur == nil {
-				cur = &BusySpan{Span: Span{Start: s.Done.Add(-s.Elapsed)}, Samples: 0}
+			if !open {
+				cur = BusySpan{Span: Span{Start: s.Done.Add(-s.Elapsed)}}
+				open = true
 			}
 			cur.Span.End = s.Done
 			cur.Stolen += stolen
 			cur.Samples++
-		} else if cur != nil {
-			spans = append(spans, *cur)
-			cur = nil
+		} else if open {
+			spans = append(spans, cur)
+			open = false
 		}
 	}
-	if cur != nil {
-		spans = append(spans, *cur)
+	if open {
+		spans = append(spans, cur)
 	}
 	return spans
 }

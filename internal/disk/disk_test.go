@@ -28,8 +28,8 @@ func (s *fakeSched) After(d simtime.Duration, fn func(simtime.Time)) {
 }
 func (s *fakeSched) run() {
 	for {
-		e := s.q.Pop()
-		if e == nil {
+		e, ok := s.q.Pop()
+		if !ok {
 			return
 		}
 		s.now = e.At()

@@ -6,54 +6,128 @@
 // whole simulation deterministic. Cancellation is lazy — a cancelled event
 // stays in the heap but is skipped when popped — so cancel is O(1) and the
 // queue never needs to locate arbitrary entries.
+//
+// The queue is allocation-free on the push/pop path: entries are stored
+// by value in a pre-grown 4-ary heap (shallower than a binary heap, so
+// fewer cache lines touched per sift), and cancellation state lives in a
+// recycled ticket slab addressed by Handle rather than in per-event heap
+// allocations. Scheduling a million events costs a handful of slice
+// growths, all amortized away by Grow or steady-state reuse.
 package eventq
 
 import (
-	"container/heap"
-
 	"latlab/internal/simtime"
 )
 
-// Event is a scheduled callback. The zero value is not usable; obtain
-// events from Queue.Schedule.
+// Event is a popped event: the instant it was scheduled for and its
+// callback. It is a value; popping performs no allocation.
 type Event struct {
-	at        simtime.Time
-	seq       uint64
-	index     int // heap index, -1 when popped
-	cancelled bool
-	fn        func(now simtime.Time)
+	at simtime.Time
+	fn func(now simtime.Time)
 }
 
-// At returns the instant the event is scheduled to fire.
-func (e *Event) At() simtime.Time { return e.at }
+// At returns the instant the event was scheduled to fire.
+func (e Event) At() simtime.Time { return e.at }
 
-// Cancelled reports whether Cancel has been called on the event.
-func (e *Event) Cancelled() bool { return e.cancelled }
+// Fire invokes the event's callback at instant now. It is split from Pop
+// so the simulator can update its clock between the two.
+func (e Event) Fire(now simtime.Time) { e.fn(now) }
 
-// Cancel marks the event so it will be skipped when it reaches the head of
-// the queue. Cancelling an already-fired or already-cancelled event is a
-// no-op.
-func (e *Event) Cancel() { e.cancelled = true }
+// Handle identifies a scheduled event for cancellation. The zero Handle
+// is invalid. Handles are values; holding one does not keep anything
+// alive, and using a handle after its event fired is detected via a
+// generation check (the methods then report a dead event).
+type Handle struct {
+	q    *Queue
+	at   simtime.Time
+	slot int32
+	gen  uint32
+}
+
+// Valid reports whether the handle refers to a queue at all (the zero
+// Handle does not).
+func (h Handle) Valid() bool { return h.q != nil }
+
+// At returns the instant the event was scheduled to fire.
+func (h Handle) At() simtime.Time { return h.at }
+
+// Cancel marks the event so it will be skipped when it reaches the head
+// of the queue. Cancelling an already-fired or already-cancelled event is
+// a no-op.
+func (h Handle) Cancel() {
+	if h.q != nil && h.q.tickets[h.slot].gen == h.gen {
+		h.q.tickets[h.slot].cancelled = true
+	}
+}
+
+// Cancelled reports whether Cancel has been called on the event (false
+// once the event has fired or been discarded).
+func (h Handle) Cancelled() bool {
+	return h.q != nil && h.q.tickets[h.slot].gen == h.gen && h.q.tickets[h.slot].cancelled
+}
+
+// entry is one scheduled event inside the heap, stored by value.
+type entry struct {
+	at   simtime.Time
+	seq  uint64
+	slot int32
+	fn   func(now simtime.Time)
+}
+
+// ticket carries the cancellation flag for one in-flight event. Slots are
+// recycled through a free list; gen disambiguates reuse so stale Handles
+// are inert.
+type ticket struct {
+	gen       uint32
+	cancelled bool
+}
 
 // Queue is a deterministic priority queue of events. The zero value is an
 // empty queue ready for use. Queue is not safe for concurrent use; the
 // simulator is single-threaded by construction.
 type Queue struct {
-	h   eventHeap
-	seq uint64
+	h       []entry
+	seq     uint64
+	tickets []ticket
+	free    []int32
+}
+
+// Grow pre-sizes the queue's internal storage for at least n concurrently
+// scheduled events, so the hot path never reallocates.
+func (q *Queue) Grow(n int) {
+	if cap(q.h) < n {
+		h := make([]entry, len(q.h), n)
+		copy(h, q.h)
+		q.h = h
+	}
+	if cap(q.tickets) < n {
+		t := make([]ticket, len(q.tickets), n)
+		copy(t, q.tickets)
+		q.tickets = t
+	}
 }
 
 // Schedule enqueues fn to run at instant at and returns a handle that can
 // cancel it. Scheduling in the past is the caller's bug and panics, since
 // it would silently corrupt causality.
-func (q *Queue) Schedule(at simtime.Time, fn func(now simtime.Time)) *Event {
+func (q *Queue) Schedule(at simtime.Time, fn func(now simtime.Time)) Handle {
 	if fn == nil {
 		panic("eventq: nil event function")
 	}
-	e := &Event{at: at, seq: q.seq, fn: fn}
+	var slot int32
+	if n := len(q.free); n > 0 {
+		slot = q.free[n-1]
+		q.free = q.free[:n-1]
+		q.tickets[slot].cancelled = false
+	} else {
+		slot = int32(len(q.tickets))
+		q.tickets = append(q.tickets, ticket{})
+	}
+	e := entry{at: at, seq: q.seq, slot: slot, fn: fn}
 	q.seq++
-	heap.Push(&q.h, e)
-	return e
+	q.h = append(q.h, e)
+	q.siftUp(len(q.h) - 1)
+	return Handle{q: q, at: at, slot: slot, gen: q.tickets[slot].gen}
 }
 
 // Len returns the number of events still enqueued, including cancelled
@@ -77,56 +151,87 @@ func (q *Queue) NextTime() simtime.Time {
 	return q.h[0].at
 }
 
-// Pop removes and returns the earliest live event, or nil when the queue
-// is empty.
-func (q *Queue) Pop() *Event {
+// Pop removes and returns the earliest live event; ok is false when the
+// queue is empty.
+func (q *Queue) Pop() (e Event, ok bool) {
 	q.skipCancelled()
 	if len(q.h) == 0 {
-		return nil
+		return Event{}, false
 	}
-	return heap.Pop(&q.h).(*Event)
+	head := q.popHead()
+	return Event{at: head.at, fn: head.fn}, true
 }
 
-// Fire invokes the event's callback at instant now. It is split from Pop
-// so the simulator can update its clock between the two.
-func (e *Event) Fire(now simtime.Time) { e.fn(now) }
+// popHead removes the heap head, releasing its ticket.
+func (q *Queue) popHead() entry {
+	head := q.h[0]
+	q.release(head.slot)
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h[last] = entry{} // drop the fn reference
+	q.h = q.h[:last]
+	if last > 0 {
+		q.siftDown(0)
+	}
+	return head
+}
+
+// release recycles a ticket slot, invalidating outstanding Handles to it.
+func (q *Queue) release(slot int32) {
+	q.tickets[slot].gen++
+	q.tickets[slot].cancelled = false
+	q.free = append(q.free, slot)
+}
 
 func (q *Queue) skipCancelled() {
-	for len(q.h) > 0 && q.h[0].cancelled {
-		heap.Pop(&q.h)
+	for len(q.h) > 0 && q.tickets[q.h[0].slot].cancelled {
+		q.popHead()
 	}
 }
 
-// eventHeap implements heap.Interface ordered by (at, seq).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders entries by (at, seq); seq is unique, so the order is total
+// and pop order is independent of heap arity or layout.
+func (q *Queue) less(i, j int) bool {
+	if q.h[i].at != q.h[j].at {
+		return q.h[i].at < q.h[j].at
 	}
-	return h[i].seq < h[j].seq
+	return q.h[i].seq < q.h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// siftUp restores the heap invariant from a newly appended leaf.
+func (q *Queue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !q.less(i, parent) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
 }
 
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+// siftDown restores the heap invariant from the root after a pop.
+func (q *Queue) siftDown(i int) {
+	n := len(q.h)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q.less(c, best) {
+				best = c
+			}
+		}
+		if !q.less(best, i) {
+			return
+		}
+		q.h[i], q.h[best] = q.h[best], q.h[i]
+		i = best
+	}
 }

@@ -16,7 +16,7 @@ func TestOrdering(t *testing.T) {
 	q.Schedule(10, func(simtime.Time) { got = append(got, 1) })
 	q.Schedule(20, func(simtime.Time) { got = append(got, 2) })
 	for !q.Empty() {
-		e := q.Pop()
+		e, _ := q.Pop()
 		e.Fire(e.At())
 	}
 	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
@@ -32,7 +32,7 @@ func TestFIFOTieBreak(t *testing.T) {
 		q.Schedule(42, func(simtime.Time) { got = append(got, i) })
 	}
 	for !q.Empty() {
-		e := q.Pop()
+		e, _ := q.Pop()
 		e.Fire(e.At())
 	}
 	for i, v := range got {
@@ -45,16 +45,16 @@ func TestFIFOTieBreak(t *testing.T) {
 func TestCancel(t *testing.T) {
 	var q Queue
 	fired := false
-	e := q.Schedule(10, func(simtime.Time) { fired = true })
+	h := q.Schedule(10, func(simtime.Time) { fired = true })
 	q.Schedule(20, func(simtime.Time) {})
-	e.Cancel()
-	if !e.Cancelled() {
+	h.Cancel()
+	if !h.Cancelled() {
 		t.Fatalf("Cancelled() = false after Cancel")
 	}
 	if got := q.NextTime(); got != 20 {
 		t.Fatalf("NextTime = %v, want 20 (cancelled head skipped)", got)
 	}
-	if q.Pop().At() != 20 {
+	if e, ok := q.Pop(); !ok || e.At() != 20 {
 		t.Fatalf("Pop returned wrong event")
 	}
 	if fired {
@@ -67,8 +67,8 @@ func TestCancel(t *testing.T) {
 
 func TestEmptyQueue(t *testing.T) {
 	var q Queue
-	if q.Pop() != nil {
-		t.Fatalf("Pop on empty queue should return nil")
+	if _, ok := q.Pop(); ok {
+		t.Fatalf("Pop on empty queue should report not-ok")
 	}
 	if q.NextTime() != simtime.Never {
 		t.Fatalf("NextTime on empty queue should be Never")
@@ -76,6 +76,11 @@ func TestEmptyQueue(t *testing.T) {
 	if !q.Empty() || q.Len() != 0 {
 		t.Fatalf("zero value should be empty")
 	}
+	var h Handle
+	if h.Valid() || h.Cancelled() {
+		t.Fatalf("zero Handle should be invalid and not cancelled")
+	}
+	h.Cancel() // must be a no-op, not a panic
 }
 
 func TestNilFuncPanics(t *testing.T) {
@@ -99,7 +104,7 @@ func TestScheduleDuringFire(t *testing.T) {
 	})
 	q.Schedule(20, func(simtime.Time) { got = append(got, "b") })
 	for !q.Empty() {
-		e := q.Pop()
+		e, _ := q.Pop()
 		e.Fire(e.At())
 	}
 	want := []string{"a", "a-child", "b"}
@@ -107,6 +112,85 @@ func TestScheduleDuringFire(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("order %v, want %v", got, want)
 		}
+	}
+}
+
+// TestStaleHandleInert checks that a handle outliving its event cannot
+// affect a later event that recycled the same ticket slot.
+func TestStaleHandleInert(t *testing.T) {
+	var q Queue
+	h := q.Schedule(10, func(simtime.Time) {})
+	if _, ok := q.Pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	fired := false
+	q.Schedule(20, func(simtime.Time) { fired = true })
+	h.Cancel() // stale: must not cancel the recycled slot
+	if h.Cancelled() {
+		t.Fatalf("stale handle reports cancelled")
+	}
+	if e, ok := q.Pop(); !ok {
+		t.Fatal("live event was skipped")
+	} else {
+		e.Fire(e.At())
+	}
+	if !fired {
+		t.Fatalf("recycled-slot event did not fire")
+	}
+}
+
+// TestGrowPreservesContents checks Grow against a non-empty queue.
+func TestGrowPreservesContents(t *testing.T) {
+	var q Queue
+	for i := 0; i < 10; i++ {
+		q.Schedule(simtime.Time(10-i), func(simtime.Time) {})
+	}
+	q.Grow(1024)
+	var prev simtime.Time = -1
+	for !q.Empty() {
+		e, _ := q.Pop()
+		if e.At() < prev {
+			t.Fatalf("order broken after Grow")
+		}
+		prev = e.At()
+	}
+}
+
+// TestSchedulePopAllocFree is the allocation budget for the hot path: a
+// pre-grown queue must push and pop without allocating. The tentpole
+// perf work depends on this staying at zero.
+func TestSchedulePopAllocFree(t *testing.T) {
+	var q Queue
+	q.Grow(64)
+	fn := func(simtime.Time) {}
+	var at simtime.Time
+	allocs := testing.AllocsPerRun(1000, func() {
+		at += 10
+		q.Schedule(at, fn)
+		q.Schedule(at+5, fn)
+		q.Pop()
+		q.Pop()
+	})
+	if allocs != 0 {
+		t.Fatalf("Schedule+Pop allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestCancelAllocFree: cancel plus the lazy skip must also be free.
+func TestCancelAllocFree(t *testing.T) {
+	var q Queue
+	q.Grow(64)
+	fn := func(simtime.Time) {}
+	var at simtime.Time
+	allocs := testing.AllocsPerRun(1000, func() {
+		at += 10
+		h := q.Schedule(at, fn)
+		q.Schedule(at+1, fn)
+		h.Cancel()
+		q.Pop()
+	})
+	if allocs != 0 {
+		t.Fatalf("Schedule+Cancel+Pop allocates %.1f times per run, want 0", allocs)
 	}
 }
 
@@ -130,8 +214,8 @@ func TestPopOrderProperty(t *testing.T) {
 			_ = i
 		}
 		for {
-			e := q.Pop()
-			if e == nil {
+			e, ok := q.Pop()
+			if !ok {
 				break
 			}
 			popped = append(popped, rec{e.At(), 0})
@@ -161,24 +245,24 @@ func TestCancelSubsetProperty(t *testing.T) {
 	f := func(seed int64, n uint8) bool {
 		r := rand.New(rand.NewSource(seed))
 		var q Queue
-		var events []*Event
+		var handles []Handle
 		var keepAt []simtime.Time
 		for i := 0; i < int(n); i++ {
 			at := simtime.Time(r.Intn(1000))
-			events = append(events, q.Schedule(at, func(simtime.Time) {}))
+			handles = append(handles, q.Schedule(at, func(simtime.Time) {}))
 		}
-		for _, e := range events {
+		for _, h := range handles {
 			if r.Intn(2) == 0 {
-				e.Cancel()
+				h.Cancel()
 			} else {
-				keepAt = append(keepAt, e.At())
+				keepAt = append(keepAt, h.At())
 			}
 		}
 		sort.Slice(keepAt, func(i, j int) bool { return keepAt[i] < keepAt[j] })
 		var got []simtime.Time
 		for {
-			e := q.Pop()
-			if e == nil {
+			e, ok := q.Pop()
+			if !ok {
 				break
 			}
 			got = append(got, e.At())
@@ -195,5 +279,24 @@ func TestCancelSubsetProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// BenchmarkSchedulePop is the raw queue hot path: one push and one pop
+// per iteration against a warm queue.
+func BenchmarkSchedulePop(b *testing.B) {
+	var q Queue
+	q.Grow(1024)
+	fn := func(simtime.Time) {}
+	for i := 0; i < 512; i++ {
+		q.Schedule(simtime.Time(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	at := simtime.Time(512)
+	for i := 0; i < b.N; i++ {
+		q.Schedule(at, fn)
+		at++
+		q.Pop()
 	}
 }

@@ -125,9 +125,16 @@ type Kernel struct {
 	seq     uint64
 
 	current     *Thread
-	completion  *eventq.Event
+	completion  eventq.Handle
 	stolenUntil simtime.Time
 	lastRun     *Thread
+
+	// Cached event callbacks: the scheduler arms these thousands of
+	// times per simulated second, and recreating the closure (or method
+	// value) on every arm was a measurable share of all allocations.
+	onCompletionFn func(now simtime.Time)
+	reconcileFn    func(now simtime.Time)
+	clockFn        func(now simtime.Time)
 
 	inReconcile    bool
 	reconcileAgain bool
@@ -144,6 +151,9 @@ type Kernel struct {
 // New builds a kernel (and its machine: CPU, disk, buffer cache) from cfg.
 func New(cfg Config) *Kernel {
 	k := &Kernel{cfg: cfg}
+	k.q.Grow(256)
+	k.onCompletionFn = k.onCompletion
+	k.reconcileFn = func(now simtime.Time) { k.reconcile() }
 	k.cpu = cpu.New()
 	if cfg.Penalties != (cpu.Penalties{}) {
 		k.cpu.Penalties = cfg.Penalties
@@ -206,7 +216,7 @@ func (k *Kernel) After(d simtime.Duration, fn func(now simtime.Time)) {
 }
 
 // At schedules fn at instant t (panics if t is in the past).
-func (k *Kernel) At(t simtime.Time, fn func(now simtime.Time)) *eventq.Event {
+func (k *Kernel) At(t simtime.Time, fn func(now simtime.Time)) eventq.Handle {
 	if t < k.now {
 		panic(fmt.Sprintf("kernel: scheduling into the past (%v < %v)", t, k.now))
 	}
@@ -269,7 +279,7 @@ func (k *Kernel) Run(until simtime.Time) simtime.Time {
 			k.advance(until)
 			return k.now
 		}
-		e := k.q.Pop()
+		e, _ := k.q.Pop()
 		k.advance(e.At())
 		e.Fire(k.now)
 	}
@@ -305,16 +315,19 @@ func (k *Kernel) Shutdown() {
 	}
 }
 
-// scheduleClock arms the recurring hardware clock interrupt.
+// scheduleClock arms the recurring hardware clock interrupt. The tick
+// callback reschedules itself, so the whole recurring clock costs one
+// closure for the kernel's lifetime instead of one per tick.
 func (k *Kernel) scheduleClock() {
-	k.At(k.now.Add(k.cfg.ClockTick), func(now simtime.Time) {
+	k.clockFn = func(now simtime.Time) {
 		if k.shutdown {
 			return
 		}
 		k.clockTicks++
 		k.RaiseInterrupt(k.cfg.ClockInterrupt, nil)
-		k.scheduleClock()
-	})
+		k.At(k.now.Add(k.cfg.ClockTick), k.clockFn)
+	}
+	k.At(k.now.Add(k.cfg.ClockTick), k.clockFn)
 }
 
 // RaiseInterrupt models a hardware interrupt: the handler segment is
@@ -334,12 +347,14 @@ func (k *Kernel) RaiseInterrupt(handler cpu.Segment, actions func(now simtime.Ti
 	}
 	k.stolenUntil = start.Add(d)
 	end := k.stolenUntil
-	k.q.Schedule(end, func(now simtime.Time) {
-		if actions != nil {
+	if actions == nil {
+		k.q.Schedule(end, k.reconcileFn)
+	} else {
+		k.q.Schedule(end, func(now simtime.Time) {
 			actions(now)
-		}
-		k.reconcile()
-	})
+			k.reconcile()
+		})
+	}
 	k.updateBusy()
 }
 

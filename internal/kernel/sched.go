@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 
+	"latlab/internal/eventq"
 	"latlab/internal/simtime"
 	"latlab/internal/trace"
 )
@@ -55,7 +56,7 @@ func (k *Kernel) reconcile() {
 
 		t := k.current
 		if t.remaining > 0 {
-			if k.completion == nil && !k.startChunk(t) {
+			if !k.completion.Valid() && !k.startChunk(t) {
 				continue // context-switch charge or quantum requeue
 			}
 			if k.reconcileAgain {
@@ -98,13 +99,13 @@ func (k *Kernel) startChunk(t *Thread) bool {
 		runFor = t.quantumLeft
 	}
 	t.runStart = k.now
-	k.completion = k.q.Schedule(k.now.Add(runFor), k.onCompletion)
+	k.completion = k.q.Schedule(k.now.Add(runFor), k.onCompletionFn)
 	return true
 }
 
 // onCompletion fires when the current thread's chunk (or quantum) ends.
 func (k *Kernel) onCompletion(now simtime.Time) {
-	k.completion = nil
+	k.completion = eventq.Handle{}
 	t := k.current
 	if t == nil {
 		return
@@ -120,11 +121,11 @@ func (k *Kernel) onCompletion(now simtime.Time) {
 // pauseCurrent stops the running chunk, banking its progress, so the CPU
 // can be stolen or switched.
 func (k *Kernel) pauseCurrent() {
-	if k.current == nil || k.completion == nil {
+	if k.current == nil || !k.completion.Valid() {
 		return
 	}
 	k.completion.Cancel()
-	k.completion = nil
+	k.completion = eventq.Handle{}
 	k.accountRun(k.current, k.now)
 }
 
@@ -202,8 +203,11 @@ func (k *Kernel) step(t *Thread) {
 		panic("kernel: stepping a non-current thread")
 	}
 	if t.pending == nil {
-		r := k.fetch(t)
-		t.pending = &r
+		// The request lives in a per-thread slot rather than a fresh
+		// heap allocation: requests arrive one at a time per thread, so
+		// the slot is free whenever pending is nil.
+		t.reqSlot = k.fetch(t)
+		t.pending = &t.reqSlot
 	}
 	k.process(t)
 }
@@ -222,6 +226,32 @@ func (k *Kernel) process(t *Thread) {
 			}
 		}
 		t.pending = nil
+
+	case reqCompute2:
+		// Two segments in one request: the second is costed the instant
+		// the first finishes consuming CPU, exactly as two back-to-back
+		// Compute calls would be, but without the thread handshake in
+		// between. The idle-loop instrument uses this so its sampling
+		// costs one handshake per record, not two.
+		for {
+			if r.started {
+				if r.stage == 1 {
+					t.pending = nil
+					return
+				}
+				r.stage = 1
+				r.started = false
+			}
+			r.started = true
+			seg := &r.seg
+			if r.stage == 1 {
+				seg = &r.seg2
+			}
+			if _, d := k.cpu.Execute(*seg); d > 0 {
+				t.remaining = d
+				return
+			}
+		}
 
 	case reqDomainCross:
 		if !r.started {

@@ -62,6 +62,7 @@ type reqKind uint8
 
 const (
 	reqCompute reqKind = iota
+	reqCompute2
 	reqDomainCross
 	reqModeSwitch
 	reqGetMessage
@@ -79,6 +80,7 @@ const (
 type request struct {
 	kind   reqKind
 	seg    cpu.Segment
+	seg2   cpu.Segment // second segment of a Compute2 batch
 	target *Thread
 	msg    Msg
 	d      simtime.Duration
@@ -87,8 +89,9 @@ type request struct {
 	pages  int64
 
 	// started marks multi-step requests (compute, sleep, I/O) that have
-	// begun but not completed.
+	// begun but not completed; stage is the Compute2 segment in flight.
 	started bool
+	stage   uint8
 }
 
 // resumeToken is sent kernel→thread; kill aborts the thread.
@@ -117,8 +120,11 @@ type Thread struct {
 	state    ThreadState
 	readySeq uint64
 
-	// pending is the in-flight request, if any.
+	// pending is the in-flight request, if any; it points at reqSlot,
+	// the thread's single preallocated request cell (requests are
+	// strictly one at a time per thread).
 	pending *request
+	reqSlot request
 	// remaining is unconsumed CPU time of the pending compute chunk.
 	remaining simtime.Duration
 	// runStart is when the current chunk last started consuming CPU.
@@ -189,6 +195,15 @@ func (tc *TC) call(r request) {
 // this thread, however long that takes in elapsed simulated time.
 func (tc *TC) Compute(seg cpu.Segment) {
 	tc.call(request{kind: reqCompute, seg: seg})
+}
+
+// Compute2 consumes CPU for two segments back to back in one kernel
+// request. Timing and memory-system effects are identical to two Compute
+// calls — the second segment is costed the instant the first finishes —
+// but the thread↔kernel handshake fires once instead of twice, which
+// matters for instruments that compute on every sample.
+func (tc *TC) Compute2(a, b cpu.Segment) {
+	tc.call(request{kind: reqCompute2, seg: a, seg2: b})
 }
 
 // DomainCross models a protection-domain (address-space) crossing: TLB

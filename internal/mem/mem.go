@@ -13,51 +13,84 @@ package mem
 // hit or miss and makes the identifier most-recently-used, evicting the
 // least-recently-used entry on overflow. The zero value is unusable; use
 // NewLRU.
+//
+// The recency list is intrusive over a fixed node slab allocated once at
+// construction: a miss recycles a slot (from the free list, or by
+// evicting the LRU entry) instead of allocating, and a flush clears the
+// index map in place instead of replacing it. TLBs are flushed on every
+// protection-domain crossing, so both paths are hot.
 type LRU struct {
 	cap   int
-	slots map[uint64]*node
-	head  *node // most recently used
-	tail  *node // least recently used
+	index map[uint64]int32
+	nodes []node // fixed slab of cap slots
+	free  []int32
+	head  int32 // most recently used, -1 when empty
+	tail  int32 // least recently used, -1 when empty
 }
 
+// node is one slab slot of the intrusive recency list; prev/next are
+// slot indices, -1 for none.
 type node struct {
 	id         uint64
-	prev, next *node
+	prev, next int32
 }
+
+const noSlot int32 = -1
 
 // NewLRU returns an LRU set with the given capacity.
 func NewLRU(capacity int) *LRU {
 	if capacity <= 0 {
 		panic("mem: non-positive LRU capacity")
 	}
-	return &LRU{cap: capacity, slots: make(map[uint64]*node, capacity)}
+	l := &LRU{
+		cap:   capacity,
+		index: make(map[uint64]int32, capacity),
+		nodes: make([]node, capacity),
+		free:  make([]int32, capacity),
+		head:  noSlot,
+		tail:  noSlot,
+	}
+	l.resetFree()
+	return l
+}
+
+// resetFree refills the free list with every slot.
+func (l *LRU) resetFree() {
+	l.free = l.free[:0]
+	for i := l.cap - 1; i >= 0; i-- {
+		l.free = append(l.free, int32(i))
+	}
 }
 
 // Cap returns the capacity.
 func (l *LRU) Cap() int { return l.cap }
 
 // Len returns the number of resident identifiers.
-func (l *LRU) Len() int { return len(l.slots) }
+func (l *LRU) Len() int { return len(l.index) }
 
 // Contains reports residency without updating recency.
 func (l *LRU) Contains(id uint64) bool {
-	_, ok := l.slots[id]
+	_, ok := l.index[id]
 	return ok
 }
 
 // Touch references id, returning true on a hit. On a miss the id is
 // inserted, evicting the LRU entry if the set is full.
 func (l *LRU) Touch(id uint64) bool {
-	if n, ok := l.slots[id]; ok {
+	if n, ok := l.index[id]; ok {
 		l.moveToFront(n)
 		return true
 	}
-	n := &node{id: id}
-	l.slots[id] = n
-	l.pushFront(n)
-	if len(l.slots) > l.cap {
-		l.evict()
+	var slot int32
+	if n := len(l.free); n > 0 {
+		slot = l.free[n-1]
+		l.free = l.free[:n-1]
+	} else {
+		slot = l.evict()
 	}
+	l.nodes[slot].id = id
+	l.index[id] = slot
+	l.pushFront(slot)
 	return false
 }
 
@@ -66,37 +99,39 @@ func (l *LRU) Insert(id uint64) { l.Touch(id) }
 
 // Flush empties the set (a TLB flush on protection-domain crossing).
 func (l *LRU) Flush() {
-	l.slots = make(map[uint64]*node, l.cap)
-	l.head, l.tail = nil, nil
+	clear(l.index)
+	l.head, l.tail = noSlot, noSlot
+	l.resetFree()
 }
 
-func (l *LRU) pushFront(n *node) {
-	n.prev = nil
-	n.next = l.head
-	if l.head != nil {
-		l.head.prev = n
+func (l *LRU) pushFront(n int32) {
+	l.nodes[n].prev = noSlot
+	l.nodes[n].next = l.head
+	if l.head != noSlot {
+		l.nodes[l.head].prev = n
 	}
 	l.head = n
-	if l.tail == nil {
+	if l.tail == noSlot {
 		l.tail = n
 	}
 }
 
-func (l *LRU) unlink(n *node) {
-	if n.prev != nil {
-		n.prev.next = n.next
+func (l *LRU) unlink(n int32) {
+	prev, next := l.nodes[n].prev, l.nodes[n].next
+	if prev != noSlot {
+		l.nodes[prev].next = next
 	} else {
-		l.head = n.next
+		l.head = next
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
+	if next != noSlot {
+		l.nodes[next].prev = prev
 	} else {
-		l.tail = n.prev
+		l.tail = prev
 	}
-	n.prev, n.next = nil, nil
+	l.nodes[n].prev, l.nodes[n].next = noSlot, noSlot
 }
 
-func (l *LRU) moveToFront(n *node) {
+func (l *LRU) moveToFront(n int32) {
 	if l.head == n {
 		return
 	}
@@ -104,13 +139,12 @@ func (l *LRU) moveToFront(n *node) {
 	l.pushFront(n)
 }
 
-func (l *LRU) evict() {
-	if l.tail == nil {
-		return
-	}
+// evict removes the LRU entry and returns its freed slot.
+func (l *LRU) evict() int32 {
 	victim := l.tail
 	l.unlink(victim)
-	delete(l.slots, victim.id)
+	delete(l.index, l.nodes[victim].id)
+	return victim
 }
 
 // System bundles the memory structures of the simulated machine. The

@@ -145,3 +145,29 @@ func TestSystem(t *testing.T) {
 		t.Fatalf("cache should survive TLB flush, got %d misses", got)
 	}
 }
+
+func BenchmarkLRUTouch(b *testing.B) {
+	// 8192-line cache (the paper's 256 KB L2) under a working set a bit
+	// larger than capacity: every miss exercises the evict/recycle path.
+	l := NewLRU(8192)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Touch(uint64(i % 10000))
+	}
+}
+
+func BenchmarkLRUFlush(b *testing.B) {
+	l := NewLRU(64)
+	for i := uint64(0); i < 64; i++ {
+		l.Touch(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Touch(uint64(i & 63))
+		if i&63 == 63 {
+			l.Flush()
+		}
+	}
+}

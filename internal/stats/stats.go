@@ -213,7 +213,13 @@ func InterarrivalAbove(starts []simtime.Time, latencies []float64, thresholdMs f
 	if len(starts) != len(latencies) {
 		panic("stats: starts and latencies length mismatch")
 	}
-	var above []simtime.Time
+	n := 0
+	for _, l := range latencies {
+		if l > thresholdMs {
+			n++
+		}
+	}
+	above := make([]simtime.Time, 0, n)
 	for i, l := range latencies {
 		if l > thresholdMs {
 			above = append(above, starts[i])

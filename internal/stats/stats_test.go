@@ -220,3 +220,17 @@ func TestInterarrivalMismatchPanics(t *testing.T) {
 	}()
 	InterarrivalAbove([]simtime.Time{0}, nil, 1)
 }
+
+func TestHistogramAddAllocFree(t *testing.T) {
+	// Bins are allocated once in NewHistogram; recording a sample — in
+	// range, under, or over — must never allocate.
+	h := NewHistogram(0, 100, 50)
+	xs := []float64{-1, 0, 3.7, 99.999, 100, 1e9}
+	i := 0
+	if avg := testing.AllocsPerRun(1000, func() {
+		h.Add(xs[i%len(xs)])
+		i++
+	}); avg != 0 {
+		t.Fatalf("Histogram.Add allocates %.1f/op, want 0", avg)
+	}
+}

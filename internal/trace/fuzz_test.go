@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -29,6 +30,41 @@ func FuzzParseIdleCSV(f *testing.F) {
 		}
 		if len(again) != len(samples) {
 			t.Fatalf("round trip changed length: %d → %d", len(samples), len(again))
+		}
+	})
+}
+
+// FuzzParseCounterCSV checks that arbitrary input never panics the
+// counter-snapshot parser and that anything it accepts survives a
+// write/parse round trip exactly: the first parse canonicalises the
+// input (sorted events, canonical integers), so write must reproduce it.
+func FuzzParseCounterCSV(f *testing.F) {
+	const hdr = "label,cycles,events\n"
+	f.Add(hdr + "getmsg-warm,4320,dtlb_miss=7;itlb_miss=3;l2_miss=12\n")
+	f.Add(hdr + "getmsg-cold,58000,dtlb_miss=64;itlb_miss=31;l2_miss=410\n")
+	f.Add(hdr + "empty,0,\n")
+	f.Add(hdr + "negative,-1,x=-5\n")
+	f.Add(hdr)
+	f.Add(hdr + "dup,1,a=1;a=2\n")
+	f.Add(hdr + "bad,1,a\n")
+	f.Add(hdr + "bad,notanumber,\n")
+	f.Add("bogus header\nx,1,\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		snaps, err := ParseCounterCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := WriteCounterCSV(&sb, snaps); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := ParseCounterCSV(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if !reflect.DeepEqual(again, snaps) {
+			t.Fatalf("round trip changed data:\n%#v\n%#v", snaps, again)
 		}
 	})
 }

@@ -8,6 +8,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -109,12 +110,22 @@ type Buffer struct {
 	dropped int
 }
 
+// bufferPreSize bounds the eager allocation of a new Buffer. Buffers are
+// usually given a generous capacity as an overflow bound, then filled
+// far below it; pre-sizing to min(capacity, bufferPreSize) removes the
+// early growth reallocations without committing the full bound up front.
+const bufferPreSize = 4096
+
 // NewBuffer returns a buffer holding at most capacity samples.
 func NewBuffer(capacity int) *Buffer {
 	if capacity <= 0 {
 		panic("trace: non-positive buffer capacity")
 	}
-	return &Buffer{cap: capacity}
+	pre := capacity
+	if pre > bufferPreSize {
+		pre = bufferPreSize
+	}
+	return &Buffer{cap: capacity, samples: make([]IdleSample, 0, pre)}
 }
 
 // Append records a sample; it returns false (and counts a drop) when full.
@@ -143,14 +154,28 @@ func (b *Buffer) Len() int { return len(b.samples) }
 // Reset discards all samples and the drop count.
 func (b *Buffer) Reset() { b.samples = b.samples[:0]; b.dropped = 0 }
 
+// appendMs appends v with six decimal places, the CSV fixed-point
+// format. strconv.AppendFloat writes into the caller's buffer, so the
+// CSV writers allocate nothing per row; the output is byte-identical to
+// fmt's %.6f (both round via strconv).
+func appendMs(b []byte, v float64) []byte {
+	return strconv.AppendFloat(b, v, 'f', 6, 64)
+}
+
 // WriteIdleCSV writes samples as CSV with a header row:
 // done_ms,elapsed_ms — the format cmd/traceview consumes.
 func WriteIdleCSV(w io.Writer, samples []IdleSample) error {
 	if _, err := io.WriteString(w, "done_ms,elapsed_ms\n"); err != nil {
 		return err
 	}
+	buf := make([]byte, 0, 64)
 	for _, s := range samples {
-		if _, err := fmt.Fprintf(w, "%.6f,%.6f\n", s.Done.Milliseconds(), s.Elapsed.Milliseconds()); err != nil {
+		buf = buf[:0]
+		buf = appendMs(buf, s.Done.Milliseconds())
+		buf = append(buf, ',')
+		buf = appendMs(buf, s.Elapsed.Milliseconds())
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
 			return err
 		}
 	}
@@ -206,14 +231,134 @@ func WriteMsgCSV(w io.Writer, recs []MsgRecord) error {
 	if _, err := io.WriteString(w, "api,call_ms,return_ms,received,kind,enqueued_ms,queue_len,thread\n"); err != nil {
 		return err
 	}
+	buf := make([]byte, 0, 128)
 	for _, r := range recs {
-		if _, err := fmt.Fprintf(w, "%s,%.6f,%.6f,%t,%d,%.6f,%d,%d\n",
-			r.API, r.Call.Milliseconds(), r.Return.Milliseconds(), r.Received,
-			r.Kind, r.Enqueued.Milliseconds(), r.QueueLen, r.Thread); err != nil {
+		buf = buf[:0]
+		switch r.API {
+		case GetMessage:
+			buf = append(buf, "GetMessage"...)
+		case PeekMessage:
+			buf = append(buf, "PeekMessage"...)
+		default:
+			buf = append(buf, "MsgAPI("...)
+			buf = strconv.AppendUint(buf, uint64(uint8(r.API)), 10)
+			buf = append(buf, ')')
+		}
+		buf = append(buf, ',')
+		buf = appendMs(buf, r.Call.Milliseconds())
+		buf = append(buf, ',')
+		buf = appendMs(buf, r.Return.Milliseconds())
+		buf = append(buf, ',')
+		buf = strconv.AppendBool(buf, r.Received)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(r.Kind), 10)
+		buf = append(buf, ',')
+		buf = appendMs(buf, r.Enqueued.Milliseconds())
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(r.QueueLen), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(r.Thread), 10)
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// counterHeader is the header row of the counter-snapshot CSV format.
+const counterHeader = "label,cycles,events"
+
+// WriteCounterCSV writes snapshots as CSV with a header row:
+// label,cycles,events. The events column is a semicolon-joined list of
+// name=count pairs sorted by name, so the output is deterministic
+// regardless of map iteration order. Labels must not contain commas or
+// newlines, and event names must not contain ',', ';', '=' or newlines.
+func WriteCounterCSV(w io.Writer, snaps []CounterSnapshot) error {
+	if _, err := io.WriteString(w, counterHeader+"\n"); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 128)
+	var names []string
+	for _, s := range snaps {
+		if strings.ContainsAny(s.Label, ",\n") {
+			return fmt.Errorf("trace: counter label %q contains a reserved character", s.Label)
+		}
+		names = names[:0]
+		for name := range s.Events {
+			if strings.ContainsAny(name, ",;=\n") {
+				return fmt.Errorf("trace: counter event name %q contains a reserved character", name)
+			}
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		buf = buf[:0]
+		buf = append(buf, s.Label...)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, s.Cycles, 10)
+		buf = append(buf, ',')
+		for i, name := range names {
+			if i > 0 {
+				buf = append(buf, ';')
+			}
+			buf = append(buf, name...)
+			buf = append(buf, '=')
+			buf = strconv.AppendInt(buf, s.Events[name], 10)
+		}
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseCounterCSV parses the format written by WriteCounterCSV. A row
+// with an empty events column yields a nil Events map; duplicate event
+// names within a row are an error.
+func ParseCounterCSV(r io.Reader) ([]CounterSnapshot, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != counterHeader {
+		return nil, fmt.Errorf("trace: missing counter CSV header")
+	}
+	var out []CounterSnapshot
+	for i, line := range lines[1:] {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("trace: line %d: want 3 fields, got %d", i+2, len(fields))
+		}
+		snap := CounterSnapshot{Label: fields[0]}
+		if snap.Cycles, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d: cycles: %w", i+2, err)
+		}
+		if fields[2] != "" {
+			snap.Events = make(map[string]int64)
+			for _, pair := range strings.Split(fields[2], ";") {
+				name, val, ok := strings.Cut(pair, "=")
+				if !ok || name == "" {
+					return nil, fmt.Errorf("trace: line %d: malformed event pair %q", i+2, pair)
+				}
+				if _, dup := snap.Events[name]; dup {
+					return nil, fmt.Errorf("trace: line %d: duplicate event %q", i+2, name)
+				}
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("trace: line %d: event %q: %w", i+2, name, err)
+				}
+				snap.Events[name] = n
+			}
+		}
+		out = append(out, snap)
+	}
+	return out, nil
 }
 
 // ParseMsgCSV parses the format written by WriteMsgCSV.

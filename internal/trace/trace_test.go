@@ -191,6 +191,143 @@ func TestMsgCSVRoundTrip(t *testing.T) {
 	}
 }
 
+func TestCounterCSVRoundTrip(t *testing.T) {
+	in := []CounterSnapshot{
+		{Label: "getmsg-warm", Cycles: 4320, Events: map[string]int64{
+			"itlb_miss": 3, "dtlb_miss": 7, "l2_miss": 12,
+		}},
+		{Label: "getmsg-cold", Cycles: 58000, Events: map[string]int64{
+			"itlb_miss": 31, "dtlb_miss": 64, "l2_miss": 410,
+		}},
+		{Label: "empty-events", Cycles: -1},
+	}
+	var sb strings.Builder
+	if err := WriteCounterCSV(&sb, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseCounterCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip length %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Label != in[i].Label || out[i].Cycles != in[i].Cycles {
+			t.Fatalf("snapshot %d: got %+v, want %+v", i, out[i], in[i])
+		}
+		if len(out[i].Events) != len(in[i].Events) {
+			t.Fatalf("snapshot %d events: got %v, want %v", i, out[i].Events, in[i].Events)
+		}
+		for k, v := range in[i].Events {
+			if out[i].Events[k] != v {
+				t.Fatalf("snapshot %d event %q: got %d, want %d", i, k, out[i].Events[k], v)
+			}
+		}
+	}
+}
+
+func TestWriteCounterCSVDeterministic(t *testing.T) {
+	// Map iteration order varies run to run; the writer must not.
+	snap := []CounterSnapshot{{Label: "x", Cycles: 1, Events: map[string]int64{
+		"c": 3, "a": 1, "b": 2,
+	}}}
+	var first string
+	for i := 0; i < 10; i++ {
+		var sb strings.Builder
+		if err := WriteCounterCSV(&sb, snap); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = sb.String()
+			if !strings.Contains(first, "x,1,a=1;b=2;c=3") {
+				t.Fatalf("events not sorted by name: %q", first)
+			}
+		} else if sb.String() != first {
+			t.Fatalf("write %d differs from first:\n%q\n%q", i, sb.String(), first)
+		}
+	}
+}
+
+func TestWriteCounterCSVReservedChars(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCounterCSV(&sb, []CounterSnapshot{{Label: "a,b"}}); err == nil {
+		t.Fatalf("comma in label should error")
+	}
+	if err := WriteCounterCSV(&sb, []CounterSnapshot{{
+		Label: "ok", Events: map[string]int64{"a=b": 1},
+	}}); err == nil {
+		t.Fatalf("'=' in event name should error")
+	}
+}
+
+func TestParseCounterCSVErrors(t *testing.T) {
+	cases := []string{
+		"bogus\nx,1,\n",
+		"label,cycles,events\nx,notanumber,\n",
+		"label,cycles,events\nx,1\n",
+		"label,cycles,events\nx,1,a=1;a=2\n",
+		"label,cycles,events\nx,1,=5\n",
+		"label,cycles,events\nx,1,a\n",
+		"label,cycles,events\nx,1,a=nope\n",
+	}
+	for i, c := range cases {
+		if _, err := ParseCounterCSV(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d should error:\n%s", i, c)
+		}
+	}
+}
+
+// discard is a Writer that counts nothing and allocates nothing, so the
+// CSV-writer allocation budgets measure the encoder alone.
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestBufferAppendAllocFree(t *testing.T) {
+	b := NewBuffer(bufferPreSize) // fully pre-sized: appends must not grow
+	s := IdleSample{Done: 1, Elapsed: simtime.Millisecond}
+	if avg := testing.AllocsPerRun(1000, func() {
+		if b.Full() {
+			b.Reset()
+		}
+		b.Append(s)
+	}); avg != 0 {
+		t.Fatalf("Buffer.Append allocates %.1f/op, want 0", avg)
+	}
+}
+
+func TestWriteIdleCSVRowAllocFree(t *testing.T) {
+	samples := make([]IdleSample, 1000)
+	for i := range samples {
+		samples[i] = IdleSample{Done: simtime.Time(i) * 1000, Elapsed: simtime.Millisecond}
+	}
+	// One run writes 1000 rows; a budget of 2 allocations per run (the
+	// row buffer, plus slack for the io.WriteString header path) means
+	// the per-row cost is zero.
+	if avg := testing.AllocsPerRun(10, func() {
+		if err := WriteIdleCSV(discard{}, samples); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 2 {
+		t.Fatalf("WriteIdleCSV allocates %.1f per 1000 rows, want ≤2", avg)
+	}
+}
+
+func TestWriteMsgCSVRowAllocFree(t *testing.T) {
+	recs := make([]MsgRecord, 1000)
+	for i := range recs {
+		recs[i] = MsgRecord{API: GetMessage, Received: true, Kind: 3, QueueLen: 1, Thread: 2}
+	}
+	if avg := testing.AllocsPerRun(10, func() {
+		if err := WriteMsgCSV(discard{}, recs); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 2 {
+		t.Fatalf("WriteMsgCSV allocates %.1f per 1000 rows, want ≤2", avg)
+	}
+}
+
 func TestParseMsgCSVErrors(t *testing.T) {
 	cases := []string{
 		"bogus\nGetMessage,1,2,true,0,1,0,0\n",
@@ -202,6 +339,20 @@ func TestParseMsgCSVErrors(t *testing.T) {
 	for i, c := range cases {
 		if _, err := ParseMsgCSV(strings.NewReader(c)); err == nil {
 			t.Fatalf("case %d should error:\n%s", i, c)
+		}
+	}
+}
+
+func BenchmarkWriteIdleCSV(b *testing.B) {
+	samples := make([]IdleSample, 1000)
+	for i := range samples {
+		samples[i] = IdleSample{Done: simtime.Time(i) * 1000, Elapsed: simtime.Millisecond}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteIdleCSV(discard{}, samples); err != nil {
+			b.Fatal(err)
 		}
 	}
 }
