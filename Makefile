@@ -11,7 +11,7 @@ BENCH_GATE_PKGS = . ./internal/eventq ./internal/mem ./internal/trace
 BENCH_NS_TOL    ?= 0.10
 BENCH_ALLOC_TOL ?= 0.10
 
-.PHONY: all build vet test race verify bench bench-baseline bench-check repro quick examples clean
+.PHONY: all build vet test race verify bench bench-baseline bench-check fuzz-smoke repro quick examples clean
 
 all: build verify
 
@@ -28,14 +28,28 @@ race:
 
 # The CI gate: vet plus the full suite under the race detector (the
 # runner is concurrent, so a plain `go test` can miss real bugs), then
-# the benchmark regression gate. Set LATLAB_SKIP_BENCH=1 to skip the
-# benchmark gate (e.g. on loaded or incomparable hardware).
+# the benchmark regression gate and a short fuzz of the CSV parsers.
+# Set LATLAB_SKIP_BENCH=1 to skip the benchmark gate (e.g. on loaded or
+# incomparable hardware) and LATLAB_SKIP_FUZZ=1 to skip the fuzz smoke.
 verify: vet race
 	@if [ -z "$$LATLAB_SKIP_BENCH" ]; then \
 		$(MAKE) --no-print-directory bench-check; \
 	else \
 		echo "bench-check skipped (LATLAB_SKIP_BENCH set)"; \
 	fi
+	@if [ -z "$$LATLAB_SKIP_FUZZ" ]; then \
+		$(MAKE) --no-print-directory fuzz-smoke; \
+	else \
+		echo "fuzz-smoke skipped (LATLAB_SKIP_FUZZ set)"; \
+	fi
+
+# 10 seconds of coverage-guided fuzzing per CSV parser. `go test` only
+# accepts one -fuzz pattern at a time, so each fuzzer gets its own run.
+FUZZ_TIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseIdleCSV$$' -fuzztime $(FUZZ_TIME) ./internal/trace
+	$(GO) test -run '^$$' -fuzz '^FuzzParseCounterCSV$$' -fuzztime $(FUZZ_TIME) ./internal/trace
+	$(GO) test -run '^$$' -fuzz '^FuzzParseMsgCSV$$' -fuzztime $(FUZZ_TIME) ./internal/trace
 
 # One benchmark per paper table/figure, plus ablations.
 bench:

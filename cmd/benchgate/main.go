@@ -110,6 +110,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "benchgate: %s: %v\n", path, err)
 		return 2
 	}
+	// An empty (or wrong-schema) baseline would gate nothing and pass
+	// vacuously; fail loudly instead of comparing against zero values.
+	if len(base.Benchmarks) == 0 {
+		fmt.Fprintf(stderr, "benchgate: no baseline benchmark results found in %s (re-record with `make bench-baseline`)\n", path)
+		return 2
+	}
 
 	failures := compare(&base, cur, *nsTol, *allocTol, *skipNs)
 	names := make([]string, 0, len(cur.Benchmarks))

@@ -149,3 +149,20 @@ func TestRunFlagValidation(t *testing.T) {
 		t.Fatalf("empty input should exit 2, got %d", code)
 	}
 }
+
+func TestCheckAgainstEmptyBaselineFailsLoudly(t *testing.T) {
+	// A baseline file with no benchmarks (wrong schema, truncated record)
+	// must be a hard error, not a vacuous pass against zero values.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_2026-08-05.json")
+	if err := os.WriteFile(path, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-check", "-dir", dir}, strings.NewReader(sampleOutput), &out, &errOut); code != 2 {
+		t.Fatalf("empty baseline should exit 2, got %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "no baseline benchmark results found in") {
+		t.Fatalf("error should explain the empty baseline: %s", errOut.String())
+	}
+}

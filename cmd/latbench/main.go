@@ -11,7 +11,7 @@
 //
 //	latbench -list
 //	latbench [-quick] [-seed N] [-run fig7,table1] [-out results.txt]
-//	         [-jobs N] [-timeout 5m] [-json manifest.json]
+//	         [-jobs N] [-timeout 5m] [-retries N] [-json manifest.json]
 //	         [-csv-dir dir] [-svg-dir dir]
 package main
 
@@ -47,7 +47,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		csvDir   = fs.String("csv-dir", "", "also export raw per-event CSVs for experiments that have them")
 		svgDir   = fs.String("svg-dir", "", "also export SVG figures for experiments that have them")
 		jobs     = fs.Int("jobs", runtime.NumCPU(), "run up to N experiments concurrently")
-		timeout  = fs.Duration("timeout", 0, "per-experiment timeout (0 = none)")
+		timeout  = fs.Duration("timeout", 0, "per-experiment-attempt timeout (0 = none)")
+		retries  = fs.Int("retries", 0, "retry a failed experiment up to N times with perturbed seeds")
 		jsonPath = fs.String("json", "", "write a JSON run manifest to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -118,6 +119,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opt := runner.Options{
 		Jobs:    *jobs,
 		Timeout: *timeout,
+		Retries: *retries,
 		Config:  experiments.Config{Seed: *seed, Quick: *quick},
 	}
 	man, err := runner.Run(context.Background(), specs, opt, emit)

@@ -210,6 +210,27 @@ func stripTimingFields(man map[string]any) {
 	}
 }
 
+// TestFaultExperimentsDeterministicAcrossJobs is the -jobs property for
+// the fault-injection family specifically: the plan is derived from the
+// seed alone, so the same seed must give byte-identical renders however
+// the worker pool schedules the clean and degraded runs.
+func TestFaultExperimentsDeterministicAcrossJobs(t *testing.T) {
+	var renders []string
+	for _, jobs := range []int{1, 8} {
+		var out, errBuf strings.Builder
+		code := run([]string{"-quick", "-run", "ext-faults-disk,ext-faults-irq,ext-faults-cache",
+			"-jobs", strconv.Itoa(jobs)}, &out, &errBuf)
+		if code != 0 {
+			t.Fatalf("jobs=%d exit %d: %s", jobs, code, errBuf.String())
+		}
+		renders = append(renders, out.String())
+	}
+	if renders[0] != renders[1] {
+		t.Fatalf("fault suite render differs between -jobs 1 and -jobs 8 (lens %d vs %d)",
+			len(renders[0]), len(renders[1]))
+	}
+}
+
 func TestJSONManifest(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "manifest.json")

@@ -11,6 +11,8 @@
 package disk
 
 import (
+	"fmt"
+
 	"latlab/internal/rng"
 	"latlab/internal/simtime"
 )
@@ -42,6 +44,15 @@ type Params struct {
 	TransferPerBlock simtime.Duration
 	// ControllerOverhead is the fixed per-request command cost.
 	ControllerOverhead simtime.Duration
+	// MaxRetries is how many times the driver re-attempts a transfer
+	// that fails with a transient media error before reporting the error
+	// to the caller. Only consulted when a fault model is installed.
+	MaxRetries int
+	// RetryBackoff is the delay before the first re-attempt; each
+	// further attempt doubles it (exponential backoff), modelling the
+	// recalibrate-and-retry loops behind the paper's multi-second
+	// PowerPoint disk stalls (Table 1).
+	RetryBackoff simtime.Duration
 }
 
 // DefaultParams approximates the Fujitsu M1606SAU: ~1 GB, 5400 RPM
@@ -56,6 +67,8 @@ func DefaultParams() Params {
 		Rotation:           simtime.FromMillis(11.1),
 		TransferPerBlock:   100 * simtime.Microsecond, // 512 B / ~5 MB/s
 		ControllerOverhead: simtime.FromMillis(0.5),
+		MaxRetries:         4,
+		RetryBackoff:       simtime.FromMillis(3),
 	}
 }
 
@@ -70,12 +83,51 @@ const (
 )
 
 // Request is one disk operation. Done is invoked exactly once, at
-// completion time, from simulator context.
+// completion time, from simulator context. err is nil on success; a
+// request whose every attempt failed under an installed fault model
+// completes with a *MediaError instead of panicking — device trouble is
+// an outcome, not a simulator bug.
 type Request struct {
 	Op     Op
 	Block  int64
 	Blocks int64
-	Done   func(now simtime.Time)
+	Done   func(now simtime.Time, err error)
+}
+
+// MediaError reports a transfer whose attempts were all rejected by the
+// media. It is the error surfaced through Request.Done after the driver
+// exhausts its retry budget.
+type MediaError struct {
+	Op       Op
+	Block    int64
+	Attempts int
+}
+
+// Error implements error.
+func (e *MediaError) Error() string {
+	op := "read"
+	if e.Op == Write {
+		op = "write"
+	}
+	return fmt.Sprintf("disk: unrecoverable media error (%s block %d after %d attempts)", op, e.Block, e.Attempts)
+}
+
+// FaultModel is the disk's view of the fault-injection layer
+// (internal/faults). All methods are consulted from simulator context;
+// implementations must be deterministic for a given seed. A nil model
+// (the default) keeps the drive on the exact pre-fault code path.
+type FaultModel interface {
+	// ServiceFactor returns the degraded service-time multiplier in
+	// effect at t; 1 means nominal.
+	ServiceFactor(t simtime.Time) float64
+	// StallUntil returns the instant before which the device cannot
+	// start a transfer at t (a frozen/recalibrating drive); returns a
+	// time <= t when the device is not stalled.
+	StallUntil(t simtime.Time) simtime.Time
+	// AttemptFails reports whether the media attempt finishing at t
+	// fails with a transient error (the driver then backs off and
+	// retries).
+	AttemptFails(op Op, block int64, t simtime.Time, attempt int) bool
 }
 
 // Disk is the drive model. Not safe for concurrent use.
@@ -89,6 +141,10 @@ type Disk struct {
 	queue   []Request
 	served  int64
 	busyFor simtime.Duration
+
+	fm        FaultModel
+	retries   int64
+	mediaErrs int64
 }
 
 // New creates a disk with the given parameters, driven by sched. The seed
@@ -112,6 +168,18 @@ func (d *Disk) Served() int64 { return d.served }
 
 // BusyTime returns cumulative service time.
 func (d *Disk) BusyTime() simtime.Duration { return d.busyFor }
+
+// SetFaults installs (or, with nil, removes) the fault model. With no
+// model the drive runs the exact fault-free code path: no extra random
+// draws, no retry bookkeeping, byte-identical schedules.
+func (d *Disk) SetFaults(fm FaultModel) { d.fm = fm }
+
+// Retries returns the number of re-attempted transfers.
+func (d *Disk) Retries() int64 { return d.retries }
+
+// MediaErrors returns the number of requests completed with an error
+// after the retry budget was exhausted.
+func (d *Disk) MediaErrors() int64 { return d.mediaErrs }
 
 // ServiceTime computes the time to service a request from the current
 // head position, without side effects on queue state. Exposed for tests
@@ -157,6 +225,10 @@ func (d *Disk) startNext() {
 	r := d.queue[0]
 	d.queue = d.queue[1:]
 	d.busy = true
+	if d.fm != nil {
+		d.startAttempt(r, 0)
+		return
+	}
 	svc := d.ServiceTime(r, d.rand.Float64())
 	d.busyFor += svc
 	d.head = r.Block + r.Blocks
@@ -165,6 +237,45 @@ func (d *Disk) startNext() {
 		// Start the next transfer before delivering the completion so a
 		// Done callback that submits more I/O sees a consistent queue.
 		d.startNext()
-		r.Done(now)
+		r.Done(now, nil)
+	})
+}
+
+// startAttempt services r under the installed fault model: the transfer
+// may start late (device stall), run slow (degraded service factor), and
+// fail at completion (transient media error), in which case the driver
+// backs off exponentially and re-attempts up to MaxRetries times before
+// surfacing a *MediaError. The head still moves — a failed transfer
+// still sought and spun.
+func (d *Disk) startAttempt(r Request, attempt int) {
+	now := d.sched.Now()
+	delay := simtime.Duration(0)
+	if until := d.fm.StallUntil(now); until > now {
+		delay = until.Sub(now)
+	}
+	svc := d.ServiceTime(r, d.rand.Float64())
+	if f := d.fm.ServiceFactor(now.Add(delay)); f > 1 {
+		svc = simtime.Duration(float64(svc) * f)
+	}
+	d.busyFor += svc
+	d.head = r.Block + r.Blocks
+	d.sched.After(delay+svc, func(now simtime.Time) {
+		if d.fm != nil && d.fm.AttemptFails(r.Op, r.Block, now, attempt) {
+			if attempt < d.params.MaxRetries {
+				d.retries++
+				d.sched.After(d.params.RetryBackoff<<uint(attempt), func(simtime.Time) {
+					d.startAttempt(r, attempt+1)
+				})
+				return
+			}
+			d.mediaErrs++
+			d.served++
+			d.startNext()
+			r.Done(now, &MediaError{Op: r.Op, Block: r.Block, Attempts: attempt + 1})
+			return
+		}
+		d.served++
+		d.startNext()
+		r.Done(now, nil)
 	})
 }

@@ -43,7 +43,7 @@ func TestServiceTimeComponents(t *testing.T) {
 	p := d.Params()
 
 	// Sequential read at the head position: no seek.
-	r := Request{Op: Read, Block: 0, Blocks: 8, Done: func(simtime.Time) {}}
+	r := Request{Op: Read, Block: 0, Blocks: 8, Done: func(simtime.Time, error) {}}
 	got := d.ServiceTime(r, 0)
 	want := p.ControllerOverhead + 8*p.TransferPerBlock
 	if got != want {
@@ -51,7 +51,7 @@ func TestServiceTimeComponents(t *testing.T) {
 	}
 
 	// Far seek saturates at MaxSeek.
-	far := Request{Op: Read, Block: p.Blocks - 8, Blocks: 8, Done: func(simtime.Time) {}}
+	far := Request{Op: Read, Block: p.Blocks - 8, Blocks: 8, Done: func(simtime.Time, error) {}}
 	got = d.ServiceTime(far, 0.5)
 	want = p.ControllerOverhead + p.MaxSeek + simtime.Duration(0.5*float64(p.Rotation)) + 8*p.TransferPerBlock
 	if got != want {
@@ -69,7 +69,7 @@ func TestFIFOCompletionOrder(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		i := i
 		d.Submit(Request{Op: Read, Block: int64(i) * 100_000, Blocks: 4,
-			Done: func(simtime.Time) { order = append(order, i) }})
+			Done: func(simtime.Time, error) { order = append(order, i) }})
 	}
 	if d.QueueLen() != 4 || !d.Busy() {
 		t.Fatalf("queue/busy = %d/%v, want 4/true", d.QueueLen(), d.Busy())
@@ -95,7 +95,7 @@ func TestCompletionTimeAdvances(t *testing.T) {
 	s := &fakeSched{}
 	d := New(DefaultParams(), s, 1)
 	var doneAt simtime.Time
-	d.Submit(Request{Op: Write, Block: 500_000, Blocks: 16, Done: func(now simtime.Time) { doneAt = now }})
+	d.Submit(Request{Op: Write, Block: 500_000, Blocks: 16, Done: func(now simtime.Time, _ error) { doneAt = now }})
 	s.run()
 	if doneAt <= 0 {
 		t.Fatalf("completion time = %v, should be after submission", doneAt)
@@ -112,9 +112,9 @@ func TestResubmitFromCompletion(t *testing.T) {
 	s := &fakeSched{}
 	d := New(DefaultParams(), s, 1)
 	completions := 0
-	d.Submit(Request{Op: Read, Block: 0, Blocks: 1, Done: func(simtime.Time) {
+	d.Submit(Request{Op: Read, Block: 0, Blocks: 1, Done: func(simtime.Time, error) {
 		completions++
-		d.Submit(Request{Op: Read, Block: 1000, Blocks: 1, Done: func(simtime.Time) {
+		d.Submit(Request{Op: Read, Block: 1000, Blocks: 1, Done: func(simtime.Time, error) {
 			completions++
 		}})
 	}})
@@ -131,7 +131,7 @@ func TestDeterminism(t *testing.T) {
 		var last simtime.Time
 		for i := 0; i < 20; i++ {
 			d.Submit(Request{Op: Read, Block: int64(i*37) % 1_000_000 * 2, Blocks: 8,
-				Done: func(now simtime.Time) { last = now }})
+				Done: func(now simtime.Time, _ error) { last = now }})
 		}
 		s.run()
 		return last
@@ -155,10 +155,10 @@ func TestSubmitValidation(t *testing.T) {
 	}
 	mustPanic("nil done", func() { d.Submit(Request{Block: 0, Blocks: 1}) })
 	mustPanic("zero blocks", func() {
-		d.Submit(Request{Block: 0, Blocks: 0, Done: func(simtime.Time) {}})
+		d.Submit(Request{Block: 0, Blocks: 0, Done: func(simtime.Time, error) {}})
 	})
 	mustPanic("past end", func() {
-		d.Submit(Request{Block: d.Params().Blocks, Blocks: 1, Done: func(simtime.Time) {}})
+		d.Submit(Request{Block: d.Params().Blocks, Blocks: 1, Done: func(simtime.Time, error) {}})
 	})
 }
 
@@ -176,7 +176,7 @@ func TestDiskFIFOProperty(t *testing.T) {
 			i := i
 			block := int64(r.Intn(1_900_000))
 			d.Submit(Request{Op: Read, Block: block, Blocks: int64(r.Intn(16)) + 1,
-				Done: func(now simtime.Time) {
+				Done: func(now simtime.Time, _ error) {
 					order = append(order, i)
 					times = append(times, now)
 				}})
@@ -197,5 +197,138 @@ func TestDiskFIFOProperty(t *testing.T) {
 	}
 	if err := quickCheck(f, 50); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// scriptedFaults fails the first failN attempts of every request and
+// optionally degrades service / stalls the device.
+type scriptedFaults struct {
+	failN  int
+	factor float64
+	stall  simtime.Time
+}
+
+func (f *scriptedFaults) ServiceFactor(simtime.Time) float64 {
+	if f.factor > 0 {
+		return f.factor
+	}
+	return 1
+}
+func (f *scriptedFaults) StallUntil(simtime.Time) simtime.Time { return f.stall }
+func (f *scriptedFaults) AttemptFails(_ Op, _ int64, _ simtime.Time, attempt int) bool {
+	return attempt < f.failN
+}
+
+func TestRetriedRequestCompletesExactlyOnce(t *testing.T) {
+	s := &fakeSched{}
+	d := New(DefaultParams(), s, 7)
+	d.SetFaults(&scriptedFaults{failN: 2})
+	completions := 0
+	var gotErr error
+	var cleanDone, faultyDone simtime.Time
+	d.Submit(Request{Op: Read, Block: 400_000, Blocks: 8, Done: func(now simtime.Time, err error) {
+		completions++
+		gotErr = err
+		faultyDone = now
+	}})
+	s.run()
+	if completions != 1 {
+		t.Fatalf("completions = %d, want exactly 1", completions)
+	}
+	if gotErr != nil {
+		t.Fatalf("retried request should succeed, got %v", gotErr)
+	}
+	if d.Retries() != 2 {
+		t.Fatalf("retries = %d, want 2", d.Retries())
+	}
+	if d.MediaErrors() != 0 || d.Served() != 1 {
+		t.Fatalf("mediaErrs=%d served=%d, want 0/1", d.MediaErrors(), d.Served())
+	}
+
+	// A clean run of the same request finishes earlier: retries cost time.
+	s2 := &fakeSched{}
+	d2 := New(DefaultParams(), s2, 7)
+	d2.Submit(Request{Op: Read, Block: 400_000, Blocks: 8, Done: func(now simtime.Time, _ error) {
+		cleanDone = now
+	}})
+	s2.run()
+	if faultyDone <= cleanDone {
+		t.Fatalf("faulty completion %v should be later than clean %v", faultyDone, cleanDone)
+	}
+}
+
+func TestExhaustedRetriesSurfaceMediaError(t *testing.T) {
+	s := &fakeSched{}
+	p := DefaultParams()
+	p.MaxRetries = 3
+	d := New(p, s, 7)
+	d.SetFaults(&scriptedFaults{failN: 100}) // never succeeds
+	completions := 0
+	var gotErr error
+	d.Submit(Request{Op: Write, Block: 1234, Blocks: 4, Done: func(_ simtime.Time, err error) {
+		completions++
+		gotErr = err
+	}})
+	// A second, healthy-looking request behind it must still be serviced.
+	var second bool
+	d.Submit(Request{Op: Read, Block: 9999, Blocks: 1, Done: func(simtime.Time, error) { second = true }})
+	s.run()
+	if completions != 1 {
+		t.Fatalf("completions = %d, want exactly 1", completions)
+	}
+	me, ok := gotErr.(*MediaError)
+	if !ok {
+		t.Fatalf("err = %v, want *MediaError", gotErr)
+	}
+	if me.Attempts != p.MaxRetries+1 || me.Op != Write || me.Block != 1234 {
+		t.Fatalf("MediaError = %+v, want {Write 1234 %d}", me, p.MaxRetries+1)
+	}
+	// Both requests ran under the always-fail model: each burned the full
+	// retry budget and surfaced an error, and crucially the second was
+	// still serviced after the first gave up.
+	if d.MediaErrors() != 2 || d.Retries() != int64(2*p.MaxRetries) {
+		t.Fatalf("mediaErrs=%d retries=%d, want 2/%d", d.MediaErrors(), d.Retries(), 2*p.MaxRetries)
+	}
+	if !second {
+		t.Fatalf("request queued behind a failing one never completed")
+	}
+	if me.Error() == "" {
+		t.Fatalf("MediaError.Error empty")
+	}
+}
+
+func TestFaultModelStallAndDegradeLengthenService(t *testing.T) {
+	run := func(fm FaultModel) simtime.Time {
+		s := &fakeSched{}
+		d := New(DefaultParams(), s, 11)
+		var done simtime.Time
+		d.Submit(Request{Op: Read, Block: 250_000, Blocks: 8, Done: func(now simtime.Time, _ error) { done = now }})
+		s.run()
+		return done
+	}
+	clean := run(nil)
+	stalled := func() simtime.Time {
+		s := &fakeSched{}
+		d := New(DefaultParams(), s, 11)
+		d.SetFaults(&scriptedFaults{stall: simtime.Time(simtime.FromMillis(50))})
+		var done simtime.Time
+		d.Submit(Request{Op: Read, Block: 250_000, Blocks: 8, Done: func(now simtime.Time, _ error) { done = now }})
+		s.run()
+		return done
+	}()
+	degraded := func() simtime.Time {
+		s := &fakeSched{}
+		d := New(DefaultParams(), s, 11)
+		d.SetFaults(&scriptedFaults{factor: 4})
+		var done simtime.Time
+		d.Submit(Request{Op: Read, Block: 250_000, Blocks: 8, Done: func(now simtime.Time, _ error) { done = now }})
+		s.run()
+		return done
+	}()
+	if stalled < clean.Add(simtime.FromMillis(50)) {
+		t.Fatalf("stalled completion %v not delayed past %v+50ms", stalled, clean)
+	}
+	if degraded <= clean {
+		t.Fatalf("degraded completion %v not later than clean %v", degraded, clean)
 	}
 }

@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"latlab/internal/apps"
+	"latlab/internal/core"
+	"latlab/internal/cpu"
+	"latlab/internal/faults"
+	"latlab/internal/input"
+	"latlab/internal/kernel"
+	"latlab/internal/persona"
+	"latlab/internal/simtime"
+	"latlab/internal/system"
+)
+
+// The ext-faults-* family reruns the paper's latency analysis under
+// deterministic injected degradations (internal/faults): the same
+// workload is simulated clean and degraded on NT 4.0, and the rendered
+// comparison shows how each fault class moves the latency distribution
+// — tail inflation for disk faults, interarrival clustering for
+// interrupt storms, warm-state collapse for cache pressure. The paper's
+// multi-second PowerPoint stalls (Table 1) are exactly this kind of
+// adverse-condition latency; here we produce them on demand.
+
+// ExtFaultsRow is one (clean or degraded) run's analysis.
+type ExtFaultsRow struct {
+	Label  string
+	Report *core.Report
+	// Think/wait FSM breakdown (§2.4 methodology) over the run.
+	ThinkMs, WaitMs float64
+	Transitions     int
+	// Machine-level fault counters.
+	Retries, MediaErrors, IOErrors, ForcedEvictions, Interrupts int64
+}
+
+// ExtFaultsResult is a clean-vs-degraded comparison under one fault
+// plan.
+type ExtFaultsResult struct {
+	ID    string
+	Title string
+	Plan  faults.Plan
+	Rows  []ExtFaultsRow // exactly {clean, degraded}
+}
+
+// ExperimentID implements Result.
+func (r *ExtFaultsResult) ExperimentID() string { return r.ID }
+
+// Render implements Result.
+func (r *ExtFaultsResult) Render(w io.Writer) error {
+	fmt.Fprintf(w, "Extension (robustness) — %s, NT 4.0 clean vs degraded\n\n", r.Title)
+	fmt.Fprintf(w, "  fault plan (seed %d):\n", r.Plan.Seed)
+	for _, f := range r.Plan.Faults {
+		fmt.Fprintf(w, "    %s\n", f)
+	}
+	fmt.Fprintln(w)
+	for _, row := range r.Rows {
+		rep := row.Report
+		ia := rep.Interarrival(core.PerceptionThresholdMs)
+		fmt.Fprintf(w, "  %-8s %4d events  mean %s  >0.1s: %d  total latency %.2fs\n",
+			row.Label+":", len(rep.Events), fmtMs(rep.Summary().Mean),
+			rep.CountAbove(core.PerceptionThresholdMs), rep.TotalLatency().Seconds())
+		fmt.Fprintf(w, "           interarrival of >0.1s events: n=%d mean %.2fs sd %.2fs\n",
+			ia.Count, ia.MeanSec, ia.StdDevSec)
+		fmt.Fprintf(w, "           think %.1fs / wait %.1fs (%d transitions)\n",
+			row.ThinkMs/1000, row.WaitMs/1000, row.Transitions)
+		fmt.Fprintf(w, "           machine: retries=%d media-errors=%d io-errors=%d evictions=%d interrupts=%d\n",
+			row.Retries, row.MediaErrors, row.IOErrors, row.ForcedEvictions, row.Interrupts)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Artifacts implements ArtifactProvider.
+func (r *ExtFaultsResult) Artifacts() []Artifact {
+	var out []Artifact
+	for _, row := range r.Rows {
+		out = append(out, EventsArtifact(row.Label, row.Report.Events),
+			ReportArtifact(row.Label, row.Report))
+	}
+	return out
+}
+
+// faultsTarget builds the arming target for a booted rig: a dedicated
+// "indexer" background thread (the inversion victim), boosted above the
+// application during PriorityInversion windows.
+func faultsTarget(r *rig, needBackground bool) faults.Target {
+	t := faults.Target{K: r.sys.K, BoostPrio: system.AppPrio + 2}
+	if needBackground {
+		t.Background = r.sys.K.Spawn("indexer", kernel.KernelProc, system.BackgroundPrio, func(tc *kernel.TC) {
+			burst := r.sys.P.Kernel.ClockInterrupt
+			burst.Name = "indexer"
+			burst.BaseCycles = 1_200_000 // 12 ms at 100 MHz
+			for {
+				tc.Sleep(40 * simtime.Millisecond)
+				tc.Compute(burst)
+			}
+		})
+	}
+	return t
+}
+
+// faultsPPT runs the paper's PowerPoint task (launch, open, page
+// through, OLE edit, save — §5.2) under plan and returns the analysis
+// row. label tags the row; an empty plan is the clean baseline.
+func faultsPPT(label string, cfg Config, plan faults.Plan) ExtFaultsRow {
+	p := persona.NT40()
+	params := apps.DefaultPowerpointParams()
+	pageDowns := []int{9, 10, 10}
+	edits := 3
+	if cfg.Quick {
+		params.Slides = 12
+		params.ObjectSlides = []int{3, 6, 9}
+		pageDowns = []int{2, 3, 3}
+		edits = 2
+	}
+	r := newRig(p, 400)
+	defer r.shutdown()
+	faults.NewClock(plan).Arm(faultsTarget(r, false))
+	ppt := apps.NewPowerpoint(r.sys, params)
+
+	think := 300 * simtime.Millisecond
+	var steps []chainStep
+	steps = append(steps, step(kernel.WMCommand, apps.CmdLaunch, 500*simtime.Millisecond))
+	steps = append(steps, step(kernel.WMCommand, apps.CmdOpen, think))
+	for i := 0; i < edits; i++ {
+		for j := 0; j < pageDowns[i]; j++ {
+			steps = append(steps, step(kernel.WMKeyDown, input.VKPageDown, think))
+		}
+		steps = append(steps, step(kernel.WMCommand, apps.CmdEditObject+int64(i), think))
+		for k := 0; k < 3; k++ {
+			steps = append(steps, step(kernel.WMChar, '7', 150*simtime.Millisecond))
+		}
+		steps = append(steps, step(kernel.WMCommand, apps.CmdEndEdit, think))
+	}
+	steps = append(steps, step(kernel.WMCommand, apps.CmdSave, think))
+
+	runChain(r.sys, steps, true, simtime.Time(380*simtime.Second))
+	// Analyse through the trailing quiescence runChain appends, so the
+	// FSM end matches the probe's last records.
+	return faultsRow(label, r, ppt.Thread(), r.sys.K.Now())
+}
+
+// faultsTyping runs a paced Notepad typing session under plan.
+func faultsTyping(label string, cfg Config, plan faults.Plan) ExtFaultsRow {
+	p := persona.NT40()
+	chars := 150
+	if cfg.Quick {
+		chars = 60
+	}
+	r := newRig(p, 240)
+	defer r.shutdown()
+	faults.NewClock(plan).Arm(faultsTarget(r, true))
+	n := apps.NewNotepad(r.sys, 250_000)
+	ty := input.NewTypist(cfg.Seed, 70)
+	script := &input.Script{Events: ty.Type(simtime.Time(300*simtime.Millisecond), input.SampleText(chars))}
+	script.Install(r.sys)
+	done := r.sys.K.Run(script.End().Add(3 * simtime.Second))
+	return faultsRow(label, r, n.Thread(), done)
+}
+
+// faultsRow extracts the common analysis from a finished rig.
+func faultsRow(label string, r *rig, t *kernel.Thread, end simtime.Time) ExtFaultsRow {
+	events := r.extract(t, true)
+	f := core.DriveFSM(r.pr, t.ID(), end)
+	k := r.sys.K
+	return ExtFaultsRow{
+		Label:           label,
+		Report:          core.NewReport(events, simtime.Duration(end)),
+		ThinkMs:         f.ThinkTime().Milliseconds(),
+		WaitMs:          f.WaitTime().Milliseconds(),
+		Transitions:     len(f.Transitions()),
+		Retries:         k.Disk().Retries(),
+		MediaErrors:     k.Disk().MediaErrors(),
+		IOErrors:        k.IOErrors(),
+		ForcedEvictions: k.Cache().ForcedEvictions(),
+		Interrupts:      k.CPU().Count(cpu.Interrupts),
+	}
+}
+
+// faultsBrowser runs a document-browser session whose warmth lives in
+// the buffer cache: each page-down reads the next 64-page window of a
+// large report file in small chunks, cycling through the file twice, so
+// the second pass is cache-warm on a clean machine and cold again under
+// eviction pressure — the paper's "effects of the file system cache"
+// phenomenon produced (and destroyed) on demand.
+func faultsBrowser(label string, cfg Config, plan faults.Plan) ExtFaultsRow {
+	p := persona.NT40()
+	const viewPages, chunk = 64, 8
+	views := 16
+	if cfg.Quick {
+		views = 8
+	}
+	r := newRig(p, 120)
+	defer r.shutdown()
+	faults.NewClock(plan).Arm(faultsTarget(r, false))
+
+	db := r.sys.K.Cache().AddFile("reports.db", 600_000, int64(views)*viewPages)
+	browse := cpu.Segment{Name: "browse", BaseCycles: 400_000,
+		Instructions: 250_000, DataRefs: 90_000,
+		CodePages: []uint64{700, 701, 702}, DataPages: []uint64{720, 721}}
+	view := int64(0)
+	app := r.sys.SpawnApp("browser", func(tc *kernel.TC) {
+		for {
+			m := tc.GetMessage()
+			if m.Kind != kernel.WMKeyDown {
+				continue
+			}
+			base := (view % int64(views)) * viewPages
+			for q := int64(0); q < viewPages; q += chunk {
+				tc.ReadFile(db, base+q, chunk)
+			}
+			tc.Compute(browse)
+			view++
+		}
+	})
+
+	var steps []chainStep
+	for i := 0; i < 2*views; i++ {
+		steps = append(steps, step(kernel.WMKeyDown, input.VKPageDown, 300*simtime.Millisecond))
+	}
+	runChain(r.sys, steps, true, simtime.Time(110*simtime.Second))
+	return faultsRow(label, r, app, r.sys.K.Now())
+}
+
+func runExtFaultsDisk(ctx context.Context, cfg Config) (Result, error) {
+	span := 120 * simtime.Second
+	if cfg.Quick {
+		span = 30 * simtime.Second
+	}
+	plan := faults.Generate(cfg.Seed, span,
+		faults.DiskDegrade, faults.DiskStall, faults.DiskMediaErrors)
+	res := &ExtFaultsResult{ID: "ext-faults-disk",
+		Title: "Powerpoint task under disk faults (degrade, stall, media errors)", Plan: plan}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, faultsPPT("clean", cfg, faults.Plan{}))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, faultsPPT("degraded", cfg, plan))
+	return res, nil
+}
+
+func runExtFaultsIRQ(ctx context.Context, cfg Config) (Result, error) {
+	// Span matches the typing session (~10 s quick, ~26 s full) so the
+	// fault windows land mid-session.
+	span := 26 * simtime.Second
+	if cfg.Quick {
+		span = 12 * simtime.Second
+	}
+	plan := faults.Generate(cfg.Seed, span,
+		faults.IRQStorm, faults.TimerJitter, faults.PriorityInversion)
+	res := &ExtFaultsResult{ID: "ext-faults-irq",
+		Title: "Notepad typing under interrupt storm, timer jitter, priority inversion", Plan: plan}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, faultsTyping("clean", cfg, faults.Plan{}))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, faultsTyping("degraded", cfg, plan))
+	return res, nil
+}
+
+func runExtFaultsCache(ctx context.Context, cfg Config) (Result, error) {
+	// Span covers the two browsing passes (~8 s quick, ~18 s full) so
+	// the pressure window straddles the warm second pass.
+	span := 18 * simtime.Second
+	if cfg.Quick {
+		span = 10 * simtime.Second
+	}
+	plan := faults.Generate(cfg.Seed, span, faults.CachePressure)
+	res := &ExtFaultsResult{ID: "ext-faults-cache",
+		Title: "document browsing under buffer-cache pressure", Plan: plan}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, faultsBrowser("clean", cfg, faults.Plan{}))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, faultsBrowser("degraded", cfg, plan))
+	return res, nil
+}
+
+func init() {
+	Register(Spec{ID: "ext-faults-disk", Title: "Latency analysis under injected disk faults",
+		Paper: "Table 1, §5.2 (robustness extension)", Run: runExtFaultsDisk})
+	Register(Spec{ID: "ext-faults-irq", Title: "Latency analysis under interrupt and scheduler faults",
+		Paper: "§2.5, §5.3 (robustness extension)", Run: runExtFaultsIRQ})
+	Register(Spec{ID: "ext-faults-cache", Title: "Latency analysis under cache pressure",
+		Paper: "Table 1, §5.2 (robustness extension)", Run: runExtFaultsCache})
+}

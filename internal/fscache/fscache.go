@@ -36,9 +36,11 @@ type Cache struct {
 	files map[FileID]*file
 	next  FileID
 
-	hits   int64
-	misses int64
-	writes int64
+	hits      int64
+	misses    int64
+	writes    int64
+	evictions int64
+	ioErrs    int64
 }
 
 // New creates a cache of capacityPages pages over d.
@@ -83,6 +85,21 @@ func (c *Cache) Hits() int64   { return c.hits }
 func (c *Cache) Misses() int64 { return c.misses }
 func (c *Cache) Writes() int64 { return c.writes }
 
+// ForcedEvictions counts pages evicted through EvictOldest (fault-layer
+// pressure), excluding ordinary capacity evictions.
+func (c *Cache) ForcedEvictions() int64 { return c.evictions }
+
+// IOErrors counts page reads/writes that completed with a device error.
+func (c *Cache) IOErrors() int64 { return c.ioErrs }
+
+// HitRate returns hits / (hits+misses), or 1 when nothing was accessed.
+func (c *Cache) HitRate() float64 {
+	if c.hits+c.misses == 0 {
+		return 1
+	}
+	return float64(c.hits) / float64(c.hits+c.misses)
+}
+
 // pageKey builds the LRU identifier for (file, page).
 func pageKey(id FileID, page int64) uint64 {
 	return uint64(id)<<40 | uint64(page)
@@ -108,8 +125,10 @@ func (c *Cache) ResidentCount(id FileID, n int64) int64 {
 // cost nothing here (the caller models CPU copy cost); missing pages are
 // read from disk as one request per contiguous run. done fires once all
 // pages are resident — immediately (before Read returns) when everything
-// hits. It reports the number of page misses.
-func (c *Cache) Read(id FileID, firstPage, nPages int64, done func(now simtime.Time)) (missing int64) {
+// hits. It reports the number of page misses. When any underlying disk
+// request fails, done receives the first error; pages from failed runs
+// are not inserted.
+func (c *Cache) Read(id FileID, firstPage, nPages int64, done func(now simtime.Time, err error)) (missing int64) {
 	f, ok := c.files[id]
 	if !ok {
 		panic(fmt.Sprintf("fscache: read of unregistered file %d", id))
@@ -132,13 +151,14 @@ func (c *Cache) Read(id FileID, firstPage, nPages int64, done func(now simtime.T
 	}
 	missing = int64(len(missPages))
 	if missing == 0 {
-		done(0) // caller context; "now" unused for synchronous hits
+		done(0, nil) // caller context; "now" unused for synchronous hits
 		return 0
 	}
 
 	// Coalesce contiguous runs into single disk requests.
 	outstanding := 0
-	var fire func(now simtime.Time)
+	var firstErr error
+	var fire func(now simtime.Time, err error)
 	for i := 0; i < len(missPages); {
 		j := i
 		for j+1 < len(missPages) && missPages[j+1] == missPages[j]+1 {
@@ -150,13 +170,20 @@ func (c *Cache) Read(id FileID, firstPage, nPages int64, done func(now simtime.T
 			Op:     disk.Read,
 			Block:  f.startBlock + run[0]*PageBlocks,
 			Blocks: int64(len(run)) * PageBlocks,
-			Done: func(now simtime.Time) {
-				for _, p := range run {
-					c.lru.Insert(pageKey(id, p))
+			Done: func(now simtime.Time, err error) {
+				if err == nil {
+					for _, p := range run {
+						c.lru.Insert(pageKey(id, p))
+					}
+				} else {
+					c.ioErrs++
+					if firstErr == nil {
+						firstErr = err
+					}
 				}
 				outstanding--
 				if outstanding == 0 {
-					fire(now)
+					fire(now, firstErr)
 				}
 			},
 		})
@@ -169,7 +196,7 @@ func (c *Cache) Read(id FileID, firstPage, nPages int64, done func(now simtime.T
 // Write stores pages [firstPage, firstPage+nPages) of id write-through:
 // the pages become resident and a disk write is issued; done fires when
 // the write reaches the platter (the sync-save case of Table 1).
-func (c *Cache) Write(id FileID, firstPage, nPages int64, done func(now simtime.Time)) {
+func (c *Cache) Write(id FileID, firstPage, nPages int64, done func(now simtime.Time, err error)) {
 	f, ok := c.files[id]
 	if !ok {
 		panic(fmt.Sprintf("fscache: write of unregistered file %d", id))
@@ -185,10 +212,24 @@ func (c *Cache) Write(id FileID, firstPage, nPages int64, done func(now simtime.
 		Op:     disk.Write,
 		Block:  f.startBlock + firstPage*PageBlocks,
 		Blocks: nPages * PageBlocks,
-		Done:   done,
+		Done: func(now simtime.Time, err error) {
+			if err != nil {
+				c.ioErrs++
+			}
+			done(now, err)
+		},
 	})
 }
 
 // EvictAll empties the cache (models a cold boot without rebuilding the
 // file table).
 func (c *Cache) EvictAll() { c.lru.Flush() }
+
+// EvictOldest discards up to n least-recently-used pages and returns how
+// many were evicted. The fault layer uses it to model memory pressure
+// from a competing workload collapsing the hit rate.
+func (c *Cache) EvictOldest(n int) int {
+	evicted := c.lru.EvictOldest(n)
+	c.evictions += int64(evicted)
+	return evicted
+}

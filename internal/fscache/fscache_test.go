@@ -39,7 +39,7 @@ func TestColdReadThenWarmRead(t *testing.T) {
 	f := c.AddFile("app.exe", 10_000, 64)
 
 	done := false
-	miss := c.Read(f, 0, 16, func(simtime.Time) { done = true })
+	miss := c.Read(f, 0, 16, func(simtime.Time, error) { done = true })
 	if miss != 16 {
 		t.Fatalf("cold misses = %d, want 16", miss)
 	}
@@ -56,7 +56,7 @@ func TestColdReadThenWarmRead(t *testing.T) {
 
 	// Warm read: synchronous completion, zero misses.
 	done = false
-	miss = c.Read(f, 0, 16, func(simtime.Time) { done = true })
+	miss = c.Read(f, 0, 16, func(simtime.Time, error) { done = true })
 	if miss != 0 || !done {
 		t.Fatalf("warm read: miss=%d done=%v", miss, done)
 	}
@@ -70,13 +70,13 @@ func TestPartialHitCoalescing(t *testing.T) {
 	f := c.AddFile("doc", 0, 32)
 	// Warm pages 4..7 and 12..15, then read 0..15: misses are two runs
 	// (0..3, 8..11), so exactly two disk requests should be issued.
-	c.Read(f, 4, 4, func(simtime.Time) {})
-	c.Read(f, 12, 4, func(simtime.Time) {})
+	c.Read(f, 4, 4, func(simtime.Time, error) {})
+	c.Read(f, 12, 4, func(simtime.Time, error) {})
 	s.run()
 
 	servedBefore := diskOf(c).Served()
 	fired := false
-	miss := c.Read(f, 0, 16, func(simtime.Time) { fired = true })
+	miss := c.Read(f, 0, 16, func(simtime.Time, error) { fired = true })
 	if miss != 8 {
 		t.Fatalf("misses = %d, want 8", miss)
 	}
@@ -98,13 +98,13 @@ func diskOf(c *Cache) *disk.Disk { return c.disk }
 func TestLRUEviction(t *testing.T) {
 	c, s := newCache(8)
 	f := c.AddFile("big", 0, 64)
-	c.Read(f, 0, 8, func(simtime.Time) {})
+	c.Read(f, 0, 8, func(simtime.Time, error) {})
 	s.run()
 	if c.ResidentCount(f, 64) != 8 {
 		t.Fatalf("resident = %d", c.ResidentCount(f, 64))
 	}
 	// Reading 8 more pages evicts the first 8.
-	c.Read(f, 8, 8, func(simtime.Time) {})
+	c.Read(f, 8, 8, func(simtime.Time, error) {})
 	s.run()
 	if c.Resident(f, 0) {
 		t.Fatalf("page 0 should have been evicted")
@@ -118,7 +118,7 @@ func TestWriteThrough(t *testing.T) {
 	c, s := newCache(64)
 	f := c.AddFile("save.ppt", 50_000, 32)
 	var doneAt simtime.Time
-	c.Write(f, 0, 32, func(now simtime.Time) { doneAt = now })
+	c.Write(f, 0, 32, func(now simtime.Time, _ error) { doneAt = now })
 	if c.ResidentCount(f, 32) != 32 {
 		t.Fatalf("written pages should be resident immediately")
 	}
@@ -133,7 +133,7 @@ func TestWriteThrough(t *testing.T) {
 		t.Fatalf("writes = %d", c.Writes())
 	}
 	// Subsequent read is all hits.
-	if miss := c.Read(f, 0, 32, func(simtime.Time) {}); miss != 0 {
+	if miss := c.Read(f, 0, 32, func(simtime.Time, error) {}); miss != 0 {
 		t.Fatalf("read-after-write misses = %d", miss)
 	}
 }
@@ -141,7 +141,7 @@ func TestWriteThrough(t *testing.T) {
 func TestEvictAll(t *testing.T) {
 	c, s := newCache(64)
 	f := c.AddFile("x", 0, 8)
-	c.Read(f, 0, 8, func(simtime.Time) {})
+	c.Read(f, 0, 8, func(simtime.Time, error) {})
 	s.run()
 	c.EvictAll()
 	if c.ResidentCount(f, 8) != 0 {
@@ -156,13 +156,13 @@ func TestColdReadSlowerThanWarm(t *testing.T) {
 
 	var coldDone simtime.Time
 	start := s.Now()
-	c.Read(f, 0, 256, func(now simtime.Time) { coldDone = now })
+	c.Read(f, 0, 256, func(now simtime.Time, _ error) { coldDone = now })
 	s.run()
 	coldLatency := coldDone.Sub(start)
 
 	start2 := s.Now()
 	sync := false
-	c.Read(f, 0, 256, func(simtime.Time) { sync = true })
+	c.Read(f, 0, 256, func(simtime.Time, error) { sync = true })
 	if !sync {
 		t.Fatalf("warm read should complete synchronously")
 	}
@@ -184,11 +184,11 @@ func TestReadValidation(t *testing.T) {
 		}()
 		fn()
 	}
-	mustPanic("unregistered", func() { c.Read(FileID(99), 0, 1, func(simtime.Time) {}) })
-	mustPanic("past end", func() { c.Read(f, 3, 2, func(simtime.Time) {}) })
-	mustPanic("zero pages", func() { c.Read(f, 0, 0, func(simtime.Time) {}) })
-	mustPanic("write unregistered", func() { c.Write(FileID(99), 0, 1, func(simtime.Time) {}) })
-	mustPanic("write past end", func() { c.Write(f, 4, 1, func(simtime.Time) {}) })
+	mustPanic("unregistered", func() { c.Read(FileID(99), 0, 1, func(simtime.Time, error) {}) })
+	mustPanic("past end", func() { c.Read(f, 3, 2, func(simtime.Time, error) {}) })
+	mustPanic("zero pages", func() { c.Read(f, 0, 0, func(simtime.Time, error) {}) })
+	mustPanic("write unregistered", func() { c.Write(FileID(99), 0, 1, func(simtime.Time, error) {}) })
+	mustPanic("write past end", func() { c.Write(f, 4, 1, func(simtime.Time, error) {}) })
 }
 
 func TestFileMetadata(t *testing.T) {

@@ -139,6 +139,11 @@ type Kernel struct {
 	inReconcile    bool
 	reconcileAgain bool
 
+	// tickJitter, when set, perturbs the arming of each clock tick (the
+	// fault layer's timer-jitter injection). nil means exact 10 ms ticks.
+	tickJitter func(now simtime.Time, tick int64) simtime.Duration
+	ioErrs     int64
+
 	syncIO   int
 	busy     bool
 	busyAcc  simtime.Duration
@@ -196,6 +201,33 @@ func (k *Kernel) ClockTicks() int64 { return k.clockTicks }
 // SyncIOOutstanding returns the number of threads blocked in synchronous
 // file I/O.
 func (k *Kernel) SyncIOOutstanding() int { return k.syncIO }
+
+// IOErrors returns the number of file I/O operations that completed with
+// a device error (only possible with a disk fault model installed).
+func (k *Kernel) IOErrors() int64 { return k.ioErrs }
+
+// SetTickJitter installs (or, with nil, removes) a perturbation applied
+// when each clock tick is armed: the next tick fires at now+ClockTick+fn.
+// Negative or zero jitter leaves the tick exact. Implementations must be
+// deterministic; tick is the index of the tick just taken.
+func (k *Kernel) SetTickJitter(fn func(now simtime.Time, tick int64) simtime.Duration) {
+	k.tickJitter = fn
+}
+
+// SetPriority changes t's scheduling priority and re-runs the scheduler,
+// so a raise can preempt the current thread and a drop can yield to a
+// newly-best peer. The fault layer uses it to open priority-inversion
+// windows.
+func (k *Kernel) SetPriority(t *Thread, prio int) {
+	if prio < IdlePriority {
+		panic("kernel: priority below idle class")
+	}
+	if t.prio == prio {
+		return
+	}
+	t.prio = prio
+	k.reconcile()
+}
 
 // NonIdleBusyTime returns cumulative CPU time spent on interrupt handlers
 // and non-idle-class threads — the simulator's ground truth against which
@@ -325,7 +357,13 @@ func (k *Kernel) scheduleClock() {
 		}
 		k.clockTicks++
 		k.RaiseInterrupt(k.cfg.ClockInterrupt, nil)
-		k.At(k.now.Add(k.cfg.ClockTick), k.clockFn)
+		next := k.now.Add(k.cfg.ClockTick)
+		if k.tickJitter != nil {
+			if j := k.tickJitter(now, k.clockTicks); j > 0 {
+				next = next.Add(j)
+			}
+		}
+		k.At(next, k.clockFn)
 	}
 	k.At(k.now.Add(k.cfg.ClockTick), k.clockFn)
 }

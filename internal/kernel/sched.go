@@ -350,7 +350,10 @@ func (k *Kernel) process(t *Thread) {
 			r.started = true
 			t.ioReady = false
 			inline := true
-			missing := k.cache.Read(r.file, r.page, r.pages, func(now simtime.Time) {
+			missing := k.cache.Read(r.file, r.page, r.pages, func(now simtime.Time, err error) {
+				if err != nil {
+					k.ioErrs++
+				}
 				if inline {
 					return // all pages hit; no block happened
 				}
@@ -382,7 +385,10 @@ func (k *Kernel) process(t *Thread) {
 		if !r.started {
 			r.started = true
 			t.ioReady = false
-			k.cache.Write(r.file, r.page, r.pages, func(now simtime.Time) {
+			k.cache.Write(r.file, r.page, r.pages, func(now simtime.Time, err error) {
+				if err != nil {
+					k.ioErrs++
+				}
 				k.RaiseInterrupt(k.cfg.DiskInterrupt, func(now2 simtime.Time) {
 					t.ioReady = true
 					k.setSyncIO(k.syncIO - 1)

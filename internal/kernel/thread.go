@@ -289,7 +289,10 @@ func (tc *TC) WriteFile(file fscache.FileID, page, pages int64) {
 func (tc *TC) ReadFileAsync(file fscache.FileID, page, pages int64, kind MsgKind, param int64) {
 	k, t := tc.k, tc.t
 	inline := true
-	missing := k.cache.Read(file, page, pages, func(now simtime.Time) {
+	missing := k.cache.Read(file, page, pages, func(now simtime.Time, err error) {
+		if err != nil {
+			k.ioErrs++
+		}
 		if inline {
 			return
 		}

@@ -147,6 +147,17 @@ func (l *LRU) evict() int32 {
 	return victim
 }
 
+// EvictOldest discards up to n least-recently-used entries, returning
+// how many were removed. Freed slots rejoin the free list.
+func (l *LRU) EvictOldest(n int) int {
+	evicted := 0
+	for evicted < n && l.tail != noSlot {
+		l.free = append(l.free, l.evict())
+		evicted++
+	}
+	return evicted
+}
+
 // System bundles the memory structures of the simulated machine. The
 // capacities default to the paper's Pentium: 32-entry instruction TLB,
 // 64-entry data TLB, and a 256 KB L2 modelled as 8192 32-byte lines

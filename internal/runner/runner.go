@@ -27,13 +27,37 @@ import (
 type Options struct {
 	// Jobs is the worker-pool size; <=0 means runtime.NumCPU().
 	Jobs int
-	// Timeout bounds each experiment's wall time; 0 means no limit. A
-	// timed-out experiment becomes a failed RunRecord and its goroutine
-	// is abandoned (the simulators have no preemption hook), so the
-	// remaining experiments still complete.
+	// Timeout bounds each experiment attempt's wall time; 0 means no
+	// limit. A timed-out experiment becomes a failed RunRecord and its
+	// goroutine is abandoned (the simulators have no preemption hook), so
+	// the remaining experiments still complete.
 	Timeout time.Duration
+	// Retries grants a failing experiment that many additional attempts.
+	// Attempt i runs with PerturbSeed(seed, i) so a seed-dependent crash
+	// does not simply repeat; every attempt's seed lands in the manifest.
+	// Timeouts and cancellation are not retried — their budget is already
+	// spent and a different seed will not unstick them.
+	Retries int
 	// Config is passed to every experiment.
 	Config experiments.Config
+}
+
+// PerturbSeed derives the seed for retry attempt (0-based). Attempt 0
+// returns seed unchanged, so a clean first run is bit-identical whether
+// retries are enabled or not; later attempts mix the attempt index
+// through the SplitMix64 finalizer so each retry explores a distinct
+// but fully reproducible stochastic schedule.
+func PerturbSeed(seed uint64, attempt int) uint64 {
+	if attempt == 0 {
+		return seed
+	}
+	z := seed + 0x9e3779b97f4a7c15*uint64(attempt)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
 }
 
 // ArtifactRecord summarizes one exported artifact in a RunRecord.
@@ -59,11 +83,20 @@ type RunRecord struct {
 	// Samples totals the data points across all artifacts.
 	Samples   int              `json:"samples"`
 	Artifacts []ArtifactRecord `json:"artifacts,omitempty"`
+	// Attempts counts how many times Spec.Run was invoked: 1 plus the
+	// retries consumed. Zero only on a synthetic Cancelled record.
+	Attempts int `json:"attempts,omitempty"`
+	// AttemptSeeds lists the seed each attempt ran with, in attempt
+	// order; AttemptSeeds[0] is the configured seed.
+	AttemptSeeds []uint64 `json:"attempt_seeds,omitempty"`
 	// Error is empty on success. Panics and timeouts land here too,
 	// flagged by Panicked / TimedOut.
 	Error    string `json:"error,omitempty"`
 	Panicked bool   `json:"panicked,omitempty"`
 	TimedOut bool   `json:"timed_out,omitempty"`
+	// Cancelled marks a synthetic record for a spec whose result the run
+	// never collected because the suite was cancelled first.
+	Cancelled bool `json:"cancelled,omitempty"`
 }
 
 // Failed reports whether the experiment did not produce a result.
@@ -116,9 +149,11 @@ type Outcome struct {
 // emit (if non-nil) once per spec, in the order of specs, regardless of
 // completion order. A panicking or timed-out experiment is reported as a
 // failed record; the remaining experiments still run. If emit returns an
-// error the run is cancelled and that error returned; the manifest then
-// covers only the experiments that finished. The returned manifest lists
-// one record per emitted spec, in specs order.
+// error the run is cancelled and that error returned. The returned
+// manifest always lists exactly one record per spec, in specs order:
+// specs whose results the cancelled run never collected get a synthetic
+// record with Error "cancelled" and Cancelled set, so downstream tooling
+// can join manifests against the spec list positionally.
 func Run(ctx context.Context, specs []experiments.Spec, opt Options, emit func(Outcome) error) (*Manifest, error) {
 	jobs := opt.Jobs
 	if jobs <= 0 {
@@ -201,6 +236,18 @@ func Run(ctx context.Context, specs []experiments.Spec, opt Options, emit func(O
 			}
 		}
 	}
+	// Records are appended strictly in specs order, so everything the run
+	// never collected — the feed stopped on cancellation, or an emit error
+	// stopped collection — is the suffix. Synthesize its records here so
+	// len(Records) == len(specs) on every path.
+	for i := len(man.Records); i < len(specs); i++ {
+		s := specs[i]
+		man.Records = append(man.Records, RunRecord{
+			ID: s.ID, Title: s.Title, Paper: s.Paper,
+			Seed: opt.Config.Seed, Quick: opt.Config.Quick,
+			Error: "cancelled", Cancelled: true,
+		})
+	}
 	man.WallSeconds = time.Since(start).Seconds()
 	if emitErr != nil {
 		return man, emitErr
@@ -208,17 +255,45 @@ func Run(ctx context.Context, specs []experiments.Spec, opt Options, emit func(O
 	return man, parent.Err()
 }
 
-// runOne executes a single spec under the per-experiment timeout,
-// converting panics and timeouts into failed records.
+// runOne executes a single spec under the per-attempt timeout,
+// converting panics and timeouts into failed records and retrying
+// errored attempts (with perturbed seeds) up to opt.Retries times.
 func runOne(ctx context.Context, s experiments.Spec, opt Options) Outcome {
 	rec := RunRecord{
 		ID: s.ID, Title: s.Title, Paper: s.Paper,
 		Seed: opt.Config.Seed, Quick: opt.Config.Quick,
 	}
+	for attempt := 0; ; attempt++ {
+		cfg := opt.Config
+		cfg.Seed = PerturbSeed(opt.Config.Seed, attempt)
+		rec.Attempts = attempt + 1
+		rec.AttemptSeeds = append(rec.AttemptSeeds, cfg.Seed)
+
+		res, err, panicked, timedOut := runAttempt(ctx, s, cfg, opt.Timeout, &rec.WallSeconds)
+		if err == nil {
+			rec.Error, rec.Panicked, rec.TimedOut = "", false, false
+			summarize(res, &rec)
+			return Outcome{Spec: s, Result: res, Record: rec}
+		}
+		rec.Error = err.Error()
+		rec.Panicked = panicked
+		rec.TimedOut = timedOut
+		// Retry only genuine failures: a timeout already spent its whole
+		// budget, and under a cancelled suite more attempts are pointless.
+		if timedOut || ctx.Err() != nil || attempt >= opt.Retries {
+			return Outcome{Spec: s, Record: rec}
+		}
+	}
+}
+
+// runAttempt invokes Spec.Run once under its own timeout, accumulating
+// host wall time into *wall.
+func runAttempt(ctx context.Context, s experiments.Spec, cfg experiments.Config,
+	timeout time.Duration, wall *float64) (_ experiments.Result, _ error, panicked, timedOut bool) {
 	runCtx := ctx
 	cancel := func() {}
-	if opt.Timeout > 0 {
-		runCtx, cancel = context.WithTimeout(ctx, opt.Timeout)
+	if timeout > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, timeout)
 	}
 	defer cancel()
 
@@ -238,28 +313,19 @@ func runOne(ctx context.Context, s experiments.Spec, opt Options) Outcome {
 				}
 			}
 		}()
-		res, err := s.Run(runCtx, opt.Config)
+		res, err := s.Run(runCtx, cfg)
 		done <- ret{res: res, err: err}
 	}()
 
 	select {
 	case r := <-done:
-		rec.WallSeconds = time.Since(start).Seconds()
-		if r.err != nil {
-			rec.Error = r.err.Error()
-			rec.Panicked = r.panicked
-			rec.TimedOut = errors.Is(r.err, context.DeadlineExceeded)
-			return Outcome{Spec: s, Record: rec}
-		}
-		summarize(r.res, &rec)
-		return Outcome{Spec: s, Result: r.res, Record: rec}
+		*wall += time.Since(start).Seconds()
+		return r.res, r.err, r.panicked, errors.Is(r.err, context.DeadlineExceeded)
 	case <-runCtx.Done():
 		// The experiment ignored its context; abandon its goroutine and
 		// record the failure so the rest of the suite proceeds.
-		rec.WallSeconds = time.Since(start).Seconds()
-		rec.Error = runCtx.Err().Error()
-		rec.TimedOut = errors.Is(runCtx.Err(), context.DeadlineExceeded)
-		return Outcome{Spec: s, Record: rec}
+		*wall += time.Since(start).Seconds()
+		return nil, runCtx.Err(), false, errors.Is(runCtx.Err(), context.DeadlineExceeded)
 	}
 }
 

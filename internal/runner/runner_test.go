@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -175,22 +176,151 @@ func TestEmitErrorCancelsRun(t *testing.T) {
 	if calls != 1 {
 		t.Fatalf("emit called %d times after error, want 1", calls)
 	}
-	if len(man.Records) != 1 {
-		t.Fatalf("manifest records = %d, want 1 (emitted prefix only)", len(man.Records))
+	if len(man.Records) != len(specs) {
+		t.Fatalf("manifest records = %d, want %d (synthetic cancelled records for the rest)",
+			len(man.Records), len(specs))
+	}
+	if man.Records[0].Cancelled || man.Records[0].Failed() {
+		t.Fatalf("the emitted record must stay real: %+v", man.Records[0])
+	}
+	for _, r := range man.Records[1:] {
+		if !r.Cancelled || r.Error != "cancelled" || !r.Failed() {
+			t.Fatalf("uncollected spec %s not marked cancelled: %+v", r.ID, r)
+		}
 	}
 }
 
 func TestParentCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	man, err := Run(ctx, []experiments.Spec{mkSpec("a", time.Millisecond)}, Options{Jobs: 1}, nil)
+	specs := []experiments.Spec{
+		mkSpec("a", time.Millisecond), mkSpec("b", time.Millisecond), mkSpec("c", time.Millisecond),
+	}
+	man, err := Run(ctx, specs, Options{Jobs: 2}, nil)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("Run error = %v, want context.Canceled", err)
 	}
-	for _, r := range man.Records {
+	// Record count equals spec count even though the run never started:
+	// every un-run spec gets a synthetic cancelled record, in spec order.
+	if len(man.Records) != len(specs) {
+		t.Fatalf("manifest records = %d, want %d", len(man.Records), len(specs))
+	}
+	for i, r := range man.Records {
+		if r.ID != specs[i].ID {
+			t.Fatalf("record[%d] = %s, want %s", i, r.ID, specs[i].ID)
+		}
 		if !r.Failed() {
 			t.Fatalf("record under cancelled parent should fail: %+v", r)
 		}
+		if r.Cancelled && r.Error != "cancelled" {
+			t.Fatalf("cancelled record %s carries error %q", r.ID, r.Error)
+		}
+	}
+}
+
+func TestPerturbSeed(t *testing.T) {
+	if PerturbSeed(1996, 0) != 1996 {
+		t.Fatalf("attempt 0 must keep the configured seed")
+	}
+	seen := map[uint64]bool{1996: true}
+	for i := 1; i < 8; i++ {
+		s := PerturbSeed(1996, i)
+		if seen[s] {
+			t.Fatalf("attempt %d repeated seed %d", i, s)
+		}
+		seen[s] = true
+		if s2 := PerturbSeed(1996, i); s2 != s {
+			t.Fatalf("PerturbSeed not deterministic: %d vs %d", s, s2)
+		}
+	}
+}
+
+func TestRetrySucceedsAfterFailures(t *testing.T) {
+	var seeds []uint64
+	spec := experiments.Spec{
+		ID: "flaky", Title: "fails twice", Paper: "test",
+		Run: func(_ context.Context, cfg experiments.Config) (experiments.Result, error) {
+			seeds = append(seeds, cfg.Seed)
+			if len(seeds) < 3 {
+				return nil, fmt.Errorf("transient failure %d", len(seeds))
+			}
+			return &fakeResult{id: "flaky", payload: "ok"}, nil
+		},
+	}
+	man, err := Run(context.Background(), []experiments.Spec{spec},
+		Options{Jobs: 1, Retries: 3, Config: experiments.Config{Seed: 1996}}, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	rec := man.Records[0]
+	if rec.Failed() {
+		t.Fatalf("retried spec should have recovered: %+v", rec)
+	}
+	if rec.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", rec.Attempts)
+	}
+	want := []uint64{1996, PerturbSeed(1996, 1), PerturbSeed(1996, 2)}
+	if len(rec.AttemptSeeds) != 3 || rec.AttemptSeeds[0] != want[0] ||
+		rec.AttemptSeeds[1] != want[1] || rec.AttemptSeeds[2] != want[2] {
+		t.Fatalf("attempt seeds = %v, want %v", rec.AttemptSeeds, want)
+	}
+	if len(seeds) != 3 || seeds[1] == seeds[0] || seeds[2] == seeds[1] {
+		t.Fatalf("experiment saw seeds %v, want 3 distinct", seeds)
+	}
+}
+
+func TestRetryExhaustedKeepsLastError(t *testing.T) {
+	runs := 0
+	spec := experiments.Spec{
+		ID: "doomed", Title: "always fails", Paper: "test",
+		Run: func(context.Context, experiments.Config) (experiments.Result, error) {
+			runs++
+			if runs == 1 {
+				panic("persistent crash") // a panic is retried like an error
+			}
+			return nil, errors.New("persistent crash")
+		},
+	}
+	man, err := Run(context.Background(), []experiments.Spec{spec},
+		Options{Jobs: 1, Retries: 2}, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	rec := man.Records[0]
+	if runs != 3 || rec.Attempts != 3 {
+		t.Fatalf("runs/attempts = %d/%d, want 3/3", runs, rec.Attempts)
+	}
+	if !rec.Failed() || !strings.Contains(rec.Error, "persistent crash") {
+		t.Fatalf("exhausted record wrong: %+v", rec)
+	}
+	if rec.Panicked {
+		t.Fatalf("last attempt returned an error, not a panic: %+v", rec)
+	}
+}
+
+func TestTimeoutIsNotRetried(t *testing.T) {
+	// atomic: the timed-out attempt's goroutine is abandoned, so it may
+	// still be touching the counter when the run returns.
+	var attempts atomic.Int32
+	spec := experiments.Spec{
+		ID: "slow", Title: "times out", Paper: "test",
+		Run: func(ctx context.Context, _ experiments.Config) (experiments.Result, error) {
+			attempts.Add(1)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	}
+	man, err := Run(context.Background(), []experiments.Spec{spec},
+		Options{Jobs: 1, Retries: 5, Timeout: 20 * time.Millisecond}, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	rec := man.Records[0]
+	if n := attempts.Load(); n != 1 || rec.Attempts != 1 {
+		t.Fatalf("timeout retried: attempts = %d/%d, want 1/1", n, rec.Attempts)
+	}
+	if !rec.TimedOut {
+		t.Fatalf("record not flagged as timeout: %+v", rec)
 	}
 }
 
