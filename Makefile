@@ -11,7 +11,12 @@ BENCH_GATE_PKGS = . ./internal/eventq ./internal/mem ./internal/trace
 BENCH_NS_TOL    ?= 0.10
 BENCH_ALLOC_TOL ?= 0.10
 
-.PHONY: all build vet test race verify bench bench-baseline bench-check fuzz-smoke repro quick examples clean
+# Coverage floor (percent) for the hardware-profile layer: the packages
+# a machine.Profile threads through must stay well exercised.
+COVER_PKGS   = ./internal/machine ./internal/cpu ./internal/mem ./internal/disk
+COVER_FLOOR ?= 85
+
+.PHONY: all build vet test race verify bench bench-baseline bench-check cover fuzz-smoke repro quick examples clean
 
 all: build verify
 
@@ -30,8 +35,14 @@ race:
 # runner is concurrent, so a plain `go test` can miss real bugs), then
 # the benchmark regression gate and a short fuzz of the CSV parsers.
 # Set LATLAB_SKIP_BENCH=1 to skip the benchmark gate (e.g. on loaded or
-# incomparable hardware) and LATLAB_SKIP_FUZZ=1 to skip the fuzz smoke.
+# incomparable hardware), LATLAB_SKIP_COVER=1 to skip the coverage
+# floor, and LATLAB_SKIP_FUZZ=1 to skip the fuzz smoke.
 verify: vet race
+	@if [ -z "$$LATLAB_SKIP_COVER" ]; then \
+		$(MAKE) --no-print-directory cover; \
+	else \
+		echo "cover skipped (LATLAB_SKIP_COVER set)"; \
+	fi
 	@if [ -z "$$LATLAB_SKIP_BENCH" ]; then \
 		$(MAKE) --no-print-directory bench-check; \
 	else \
@@ -42,6 +53,17 @@ verify: vet race
 	else \
 		echo "fuzz-smoke skipped (LATLAB_SKIP_FUZZ set)"; \
 	fi
+
+# Enforce the statement-coverage floor on the hardware-profile packages.
+# Fails if any package dips below COVER_FLOOR percent or if a package
+# stops being counted (e.g. its tests were deleted).
+cover:
+	@out=$$($(GO) test -cover $(COVER_PKGS)) || { echo "$$out"; exit 1; }; \
+	echo "$$out"; \
+	echo "$$out" | awk -v floor=$(COVER_FLOOR) ' \
+		/coverage:/ { n++; pct = $$5; sub(/%/, "", pct); \
+			if (pct + 0 < floor) { printf "cover: %s below floor %d%%\n", $$2, floor; bad = 1 } } \
+		END { if (n < 4) { printf "cover: expected 4 covered packages, saw %d\n", n; exit 1 }; exit bad }'
 
 # 10 seconds of coverage-guided fuzzing per CSV parser. `go test` only
 # accepts one -fuzz pattern at a time, so each fuzzer gets its own run.

@@ -17,6 +17,7 @@ import (
 
 	"latlab/internal/apps"
 	"latlab/internal/core"
+	"latlab/internal/cpu"
 	"latlab/internal/experiments"
 	"latlab/internal/input"
 	"latlab/internal/kernel"
@@ -211,7 +212,11 @@ func BenchmarkAblationCrossingFlush(b *testing.B) {
 		p := persona.NT351()
 		with = keystrokeLatency(b, p)
 		noFlush := p
+		// Wholesale cost-model override: default hardware penalties but a
+		// free crossing (DomainCrossingCycles alone cannot express "zero").
+		noFlush.Kernel.Penalties = cpu.DefaultPenalties()
 		noFlush.Kernel.Penalties.DomainCrossing = 0
+		noFlush.Kernel.DomainCrossingCycles = 0
 		noFlush.Kernel.FlushOnProcessSwitch = false
 		without = keystrokeLatency(b, noFlush)
 	}

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	idleprof -persona nt40 -seconds 2 -burst-ms 30 -burst-at-ms 500
-//	idleprof -persona w95 -csv samples.csv
+//	idleprof -persona w95 -machine p200 -csv samples.csv
 package main
 
 import (
@@ -15,10 +15,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"latlab/internal/core"
 	"latlab/internal/cpu"
 	"latlab/internal/kernel"
+	"latlab/internal/machine"
 	"latlab/internal/persona"
 	"latlab/internal/simtime"
 	"latlab/internal/system"
@@ -35,6 +37,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		personaName = fs.String("persona", "nt40", "persona: nt351, nt40, or w95")
+		machineID   = fs.String("machine", "p100", "hardware profile to boot on")
 		seconds     = fs.Float64("seconds", 2, "simulated run length")
 		burstMs     = fs.Float64("burst-ms", 0, "inject a foreground CPU burst of this length")
 		burstAtMs   = fs.Float64("burst-at-ms", 500, "burst start time")
@@ -50,20 +53,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "idleprof: unknown persona %q (nt351, nt40, w95)\n", *personaName)
 		return 1
 	}
+	prof, ok := machine.ByShort(*machineID)
+	if !ok {
+		fmt.Fprintf(stderr, "idleprof: unknown machine %q (valid: %s)\n",
+			*machineID, strings.Join(machine.Shorts(), ", "))
+		return 1
+	}
 	if *seconds <= 0 || *seconds > 600 {
 		fmt.Fprintf(stderr, "idleprof: -seconds must be in (0, 600]\n")
 		return 1
 	}
 
-	sys := system.Boot(p)
+	sys := system.BootOn(p, prof)
 	defer sys.Shutdown()
 	il := core.StartIdleLoop(sys.K, int(*seconds*1100)+1000)
 
 	if *burstMs > 0 {
+		// Burst length is wall time, so the cycle count scales with the
+		// machine's clock.
+		burstCycles := int64(*burstMs / 1000 * float64(sys.K.CPU().Freq))
 		app := sys.K.Spawn("burst", 1, system.AppPrio, func(tc *kernel.TC) {
 			tc.GetMessage()
-			tc.Compute(cpu.Segment{Name: "burst",
-				BaseCycles: int64(*burstMs * 100_000)})
+			tc.Compute(cpu.Segment{Name: "burst", BaseCycles: burstCycles})
 		})
 		sys.K.At(simtime.Time(simtime.FromMillis(*burstAtMs)), func(simtime.Time) {
 			sys.K.PostMessage(app, kernel.WMCommand, 0)

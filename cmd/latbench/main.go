@@ -10,9 +10,9 @@
 // Usage:
 //
 //	latbench -list
-//	latbench [-quick] [-seed N] [-run fig7,table1] [-out results.txt]
-//	         [-jobs N] [-timeout 5m] [-retries N] [-json manifest.json]
-//	         [-csv-dir dir] [-svg-dir dir]
+//	latbench [-quick] [-seed N] [-run fig7,table1] [-machine p200]
+//	         [-out results.txt] [-jobs N] [-timeout 5m] [-retries N]
+//	         [-json manifest.json] [-csv-dir dir] [-svg-dir dir]
 package main
 
 import (
@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"latlab/internal/experiments"
+	"latlab/internal/machine"
 	"latlab/internal/runner"
 	"latlab/internal/viz"
 )
@@ -39,17 +40,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("latbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		list     = fs.Bool("list", false, "list available experiments and exit")
-		quick    = fs.Bool("quick", false, "trim workload sizes (for smoke runs)")
-		seed     = fs.Uint64("seed", 1996, "seed for stochastic models")
-		runArg   = fs.String("run", "all", "comma-separated experiment ids, or 'all'")
-		outPath  = fs.String("out", "", "write results to this file instead of stdout")
-		csvDir   = fs.String("csv-dir", "", "also export raw per-event CSVs for experiments that have them")
-		svgDir   = fs.String("svg-dir", "", "also export SVG figures for experiments that have them")
-		jobs     = fs.Int("jobs", runtime.NumCPU(), "run up to N experiments concurrently")
-		timeout  = fs.Duration("timeout", 0, "per-experiment-attempt timeout (0 = none)")
-		retries  = fs.Int("retries", 0, "retry a failed experiment up to N times with perturbed seeds")
-		jsonPath = fs.String("json", "", "write a JSON run manifest to this file")
+		list      = fs.Bool("list", false, "list available experiments and exit")
+		quick     = fs.Bool("quick", false, "trim workload sizes (for smoke runs)")
+		seed      = fs.Uint64("seed", 1996, "seed for stochastic models")
+		runArg    = fs.String("run", "all", "comma-separated experiment ids, or 'all'")
+		outPath   = fs.String("out", "", "write results to this file instead of stdout")
+		csvDir    = fs.String("csv-dir", "", "also export raw per-event CSVs for experiments that have them")
+		svgDir    = fs.String("svg-dir", "", "also export SVG figures for experiments that have them")
+		machineID = fs.String("machine", "p100", "hardware profile to run on (see -list)")
+		jobs      = fs.Int("jobs", runtime.NumCPU(), "run up to N experiments concurrently")
+		timeout   = fs.Duration("timeout", 0, "per-experiment-attempt timeout (0 = none)")
+		retries   = fs.Int("retries", 0, "retry a failed experiment up to N times with perturbed seeds")
+		jsonPath  = fs.String("json", "", "write a JSON run manifest to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -60,7 +62,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, s := range experiments.All() {
 			fmt.Fprintf(stdout, "%-14s %-55s %s\n", s.ID, s.Title, s.Paper)
 		}
+		fmt.Fprintf(stdout, "\nmachine profiles (-machine):\n")
+		fmt.Fprintf(stdout, "%-10s %-28s %8s %9s %7s %6s\n", "id", "name", "clock", "itlb/dtlb", "l2", "tagged")
+		for _, m := range machine.All() {
+			l2 := fmt.Sprintf("%dK", m.L2Bytes>>10)
+			if m.L2Bytes == 0 {
+				l2 = "none"
+			}
+			fmt.Fprintf(stdout, "%-10s %-28s %5dMHz %5d/%-3d %7s %6v\n",
+				m.Short, m.Name, int64(m.ClockHz)/1_000_000, m.ITLBEntries, m.DTLBEntries, l2, m.TaggedTLB)
+		}
 		return 0
+	}
+
+	prof, ok := machine.ByShort(*machineID)
+	if !ok {
+		fmt.Fprintf(stderr, "latbench: unknown machine %q (valid: %s)\n",
+			*machineID, strings.Join(machine.Shorts(), ", "))
+		return 1
 	}
 
 	w := stdout
@@ -120,7 +139,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Jobs:    *jobs,
 		Timeout: *timeout,
 		Retries: *retries,
-		Config:  experiments.Config{Seed: *seed, Quick: *quick},
+		Config:  experiments.Config{Seed: *seed, Quick: *quick, Machine: prof},
 	}
 	man, err := runner.Run(context.Background(), specs, opt, emit)
 	if err != nil {

@@ -1,4 +1,5 @@
-// Package cpu models the simulated processor: a 100 MHz clock, per-event
+// Package cpu models the simulated processor: a clock (the paper's
+// 100 MHz Pentium by default, any machine.Profile otherwise), per-event
 // hardware counters, and a cost model that turns code-segment
 // descriptions into cycle counts via the memory system.
 //
@@ -12,6 +13,7 @@
 package cpu
 
 import (
+	"latlab/internal/machine"
 	"latlab/internal/mem"
 	"latlab/internal/simtime"
 )
@@ -33,13 +35,30 @@ type Penalties struct {
 	DomainCrossing int64
 }
 
-// DefaultPenalties returns the cost model used by all experiments.
+// DefaultPenalties returns the cost model used by all experiments; it
+// equals PenaltiesFor(machine.Pentium100()).
 func DefaultPenalties() Penalties {
 	return Penalties{
 		TLBMiss:        25,
 		CacheMiss:      20,
 		SegmentLoad:    12,
 		Unaligned:      3,
+		DomainCrossing: 500,
+	}
+}
+
+// PenaltiesFor derives the memory-event cost model from a hardware
+// profile: the TLB-miss cost is the page walk, the cache-miss cost the
+// DRAM latency, both in cycles of that profile's clock. DomainCrossing
+// is an OS/architecture cost, not a hardware one, so it keeps the
+// default here and is overridden per persona.
+func PenaltiesFor(prof machine.Profile) Penalties {
+	prof = prof.OrDefault()
+	return Penalties{
+		TLBMiss:        prof.TLBMissCycles,
+		CacheMiss:      prof.DRAMLatencyCycles,
+		SegmentLoad:    prof.SegLoadCycles,
+		Unaligned:      prof.UnalignedCycles,
 		DomainCrossing: 500,
 	}
 }
@@ -92,13 +111,25 @@ type CPU struct {
 	counts [NumEventKinds]int64
 }
 
-// New returns a CPU at the paper's 100 MHz with the default memory system
-// and penalties.
+// New returns a CPU for the paper's machine.
+//
+// Deprecated: use NewFor(machine.Pentium100()) — New is the thin
+// compatibility wrapper kept so pre-profile call sites migrate
+// mechanically.
 func New() *CPU {
+	return NewFor(machine.Pentium100())
+}
+
+// NewFor returns a CPU for the given hardware profile: its clock, a
+// memory system with the profile's TLB and L2 capacities (and tagged-TLB
+// behaviour), and profile-derived penalties.
+func NewFor(prof machine.Profile) *CPU {
+	prof = prof.OrDefault()
+	prof.ClockHz.Validate()
 	return &CPU{
-		Freq:      simtime.CPUFrequency,
-		Mem:       mem.NewSystem(mem.DefaultConfig()),
-		Penalties: DefaultPenalties(),
+		Freq:      prof.ClockHz,
+		Mem:       mem.NewSystem(mem.ConfigFor(prof)),
+		Penalties: PenaltiesFor(prof),
 	}
 }
 
@@ -137,7 +168,8 @@ func (c *CPU) Execute(seg Segment) (cycles int64, d simtime.Duration) {
 }
 
 // DomainCross models a protection-domain crossing: it flushes both TLBs
-// (Pentium behaviour), counts the event, and returns the direct cost.
+// (untagged-Pentium behaviour; a no-op on a tagged-TLB machine), counts
+// the event, and returns the direct cost.
 func (c *CPU) DomainCross() (cycles int64, d simtime.Duration) {
 	c.Mem.FlushTLBs()
 	c.counts[DomainCrossings]++

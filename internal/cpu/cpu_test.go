@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"latlab/internal/machine"
 	"latlab/internal/simtime"
 )
 
@@ -214,5 +215,53 @@ func TestCounterFileMeasurement(t *testing.T) {
 	f2 := NewCounterFile(c)
 	if v, err := f2.Read(SystemMode, 1); err != nil || v != 0 {
 		t.Fatalf("unconfigured read = %d, %v", v, err)
+	}
+}
+
+func TestNewForTaggedTLBSurvivesDomainCross(t *testing.T) {
+	c := NewFor(machine.PentiumTaggedTLB())
+	seg := Segment{BaseCycles: 100, CodePages: []uint64{1, 2}, DataPages: []uint64{10}}
+	c.Execute(seg) // warm
+	c.DomainCross()
+	after, _ := c.Execute(seg)
+	if after != seg.BaseCycles {
+		t.Fatalf("tagged machine paid %d cycles after crossing, want warm %d", after, seg.BaseCycles)
+	}
+	// The crossing's direct cost is still paid; only the refill vanishes.
+	if c.Count(DomainCrossings) != 1 {
+		t.Fatalf("crossing not counted")
+	}
+}
+
+func TestNewForNoL2NeverWarms(t *testing.T) {
+	c := NewFor(machine.P100NoL2())
+	seg := Segment{BaseCycles: 100, CacheChunks: []uint64{1, 2, 3}}
+	c.Execute(seg)
+	warm, _ := c.Execute(seg)
+	if want := int64(100) + 3*c.Penalties.CacheMiss; warm != want {
+		t.Fatalf("no-L2 second run = %d cycles, want %d (cache never warms)", warm, want)
+	}
+}
+
+// The profile indirection must not reintroduce allocations on the hot
+// path: warm execution, a domain crossing, and the TLB refill it causes
+// all recycle LRU slots instead of allocating.
+func TestExecuteHotPathAllocFree(t *testing.T) {
+	for _, prof := range machine.All() {
+		c := NewFor(prof)
+		seg := Segment{
+			BaseCycles:  1000,
+			CodePages:   []uint64{1, 2, 3},
+			DataPages:   []uint64{10, 11},
+			CacheChunks: []uint64{50, 51},
+		}
+		c.Execute(seg) // populate the slabs
+		if avg := testing.AllocsPerRun(200, func() {
+			c.Execute(seg)
+			c.DomainCross()
+			c.Execute(seg)
+		}); avg != 0 {
+			t.Fatalf("%s: execute/cross/execute allocates %.1f per run", prof.Short, avg)
+		}
 	}
 }

@@ -13,6 +13,7 @@ package disk
 import (
 	"fmt"
 
+	"latlab/internal/machine"
 	"latlab/internal/rng"
 	"latlab/internal/simtime"
 )
@@ -56,17 +57,26 @@ type Params struct {
 }
 
 // DefaultParams approximates the Fujitsu M1606SAU: ~1 GB, 5400 RPM
-// (11.1 ms/rev), ~10 ms average seek, ~5 MB/s media rate.
+// (11.1 ms/rev), ~10 ms average seek, ~5 MB/s media rate. It equals
+// ParamsFor(machine.Pentium100()).
 func DefaultParams() Params {
+	return ParamsFor(machine.Pentium100())
+}
+
+// ParamsFor derives drive parameters from a hardware profile: the
+// geometry comes from the profile, the driver retry policy (which is
+// software, not geometry) keeps its defaults.
+func ParamsFor(prof machine.Profile) Params {
+	g := prof.OrDefault().Disk
 	return Params{
-		Blocks:             2_000_000,
-		BlocksPerCylinder:  800,
-		SeekSettle:         simtime.FromMillis(1.5),
-		SeekPerCylinder:    8 * simtime.Microsecond,
-		MaxSeek:            simtime.FromMillis(18),
-		Rotation:           simtime.FromMillis(11.1),
-		TransferPerBlock:   100 * simtime.Microsecond, // 512 B / ~5 MB/s
-		ControllerOverhead: simtime.FromMillis(0.5),
+		Blocks:             g.Blocks,
+		BlocksPerCylinder:  g.BlocksPerCylinder,
+		SeekSettle:         g.SeekSettle,
+		SeekPerCylinder:    g.SeekPerCylinder,
+		MaxSeek:            g.MaxSeek,
+		Rotation:           g.Rotation,
+		TransferPerBlock:   g.TransferPerBlock,
+		ControllerOverhead: g.ControllerOverhead,
 		MaxRetries:         4,
 		RetryBackoff:       simtime.FromMillis(3),
 	}

@@ -17,6 +17,7 @@ import (
 
 	"latlab/internal/core"
 	"latlab/internal/kernel"
+	"latlab/internal/machine"
 	"latlab/internal/persona"
 	"latlab/internal/simtime"
 	"latlab/internal/system"
@@ -29,10 +30,17 @@ type Config struct {
 	// Quick trims workload sizes so the full suite stays fast in tests;
 	// benchmarks and the CLI run the paper-sized workloads.
 	Quick bool
+	// Machine is the hardware profile every rig boots on; the zero value
+	// means the paper's Pentium (machine.Pentium100). Experiments that
+	// compare machines (the ext-hw family) ignore it and boot their own.
+	Machine machine.Profile
 }
 
 // DefaultConfig returns the paper-sized configuration.
 func DefaultConfig() Config { return Config{Seed: 1996} }
+
+// MachineProfile returns the configured hardware profile, defaulted.
+func (c Config) MachineProfile() machine.Profile { return c.Machine.OrDefault() }
 
 // Result is a rendered experiment outcome.
 type Result interface {
@@ -171,7 +179,8 @@ func init() {
 	for i, id := range []string{"fig1", "fig3", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "table1", "fig9", "fig10", "fig11", "table2", "fig12", "s54",
 		"ext-batching", "ext-thinkwait", "ext-metric", "ext-slowcpu", "ext-interrupts",
-		"ext-faults-disk", "ext-faults-irq", "ext-faults-cache"} {
+		"ext-faults-disk", "ext-faults-irq", "ext-faults-cache",
+		"ext-hw-clock", "ext-hw-l2", "ext-hw-tlb"} {
 		paperOrder[id] = i
 	}
 }
@@ -209,10 +218,16 @@ type rig struct {
 	il  *core.IdleLoop
 }
 
-// newRig boots persona p with probe and idle-loop instrumentation sized
-// for runSeconds of simulated time.
-func newRig(p persona.P, runSeconds int) *rig {
-	sys := system.Boot(p)
+// newRig boots persona p on cfg's machine profile with probe and
+// idle-loop instrumentation sized for runSeconds of simulated time.
+func newRig(cfg Config, p persona.P, runSeconds int) *rig {
+	return newRigOn(p, cfg.MachineProfile(), runSeconds)
+}
+
+// newRigOn boots persona p on an explicit hardware profile; the ext-hw
+// scenario-matrix experiments use it to compare machines side by side.
+func newRigOn(p persona.P, prof machine.Profile, runSeconds int) *rig {
+	sys := system.BootOn(p, prof)
 	pr := core.AttachProbe(sys.K)
 	il := core.StartIdleLoop(sys.K, runSeconds*1100+10_000)
 	return &rig{sys: sys, pr: pr, il: il}

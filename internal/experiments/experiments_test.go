@@ -31,7 +31,8 @@ func TestRegistry(t *testing.T) {
 	want := []string{"fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"table1", "fig9", "fig10", "fig11", "table2", "fig12", "s54",
 		"ext-batching", "ext-thinkwait", "ext-metric", "ext-slowcpu", "ext-interrupts",
-		"ext-faults-disk", "ext-faults-irq", "ext-faults-cache"}
+		"ext-faults-disk", "ext-faults-irq", "ext-faults-cache",
+		"ext-hw-clock", "ext-hw-l2", "ext-hw-tlb"}
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d specs, want %d", len(all), len(want))
 	}

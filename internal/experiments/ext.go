@@ -72,7 +72,7 @@ func runExtBatching(ctx context.Context, cfg Config) (Result, error) {
 		chars = 80
 	}
 	run := func(gap simtime.Duration) (stats.Summary, float64, int64) {
-		r := newRig(persona.NT40(), 120)
+		r := newRig(cfg, persona.NT40(), 120)
 		defer r.shutdown()
 		n := apps.NewNotepad(r.sys, 250_000)
 		script := &input.Script{
@@ -133,7 +133,7 @@ func runExtThinkWait(ctx context.Context, cfg Config) (Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		r := newRig(p, 180)
+		r := newRig(cfg, p, 180)
 		n := apps.NewNotepad(r.sys, 250_000)
 		// Typing with composition pauses, then a simulated save-scale
 		// synchronous I/O burst via the document reload.
@@ -203,7 +203,7 @@ func runExtMetric(ctx context.Context, cfg Config) (Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		events, _, _ := wordTrace(p, cfg.Seed, chars, true)
+		events, _, _ := wordTrace(cfg, p, cfg.Seed, chars, true)
 		lats := core.Latencies(events)
 		vals := make([]float64, len(res.ThresholdsMs))
 		for i, th := range res.ThresholdsMs {

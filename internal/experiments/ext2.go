@@ -61,7 +61,11 @@ func runExtSlowCPU(ctx context.Context, cfg Config) (Result, error) {
 			return nil, err
 		}
 		p := persona.NT40()
-		p.Kernel.CPUFrequency = simtime.Hz(mhz) * 1_000_000
+		// A down-clocked variant of the configured machine: same TLBs,
+		// caches and disk, only the core runs slower (§5.1's thought
+		// experiment isolates clock rate).
+		prof := cfg.MachineProfile()
+		prof.ClockHz = simtime.Hz(mhz) * 1_000_000
 
 		// Fixed-pace session with newlines so both latency classes appear.
 		raw := input.SampleText(chars)
@@ -76,7 +80,7 @@ func runExtSlowCPU(ctx context.Context, cfg Config) (Result, error) {
 			Events: input.TypeText(simtime.Time(300*simtime.Millisecond), string(text), 250*simtime.Millisecond),
 		}
 		seconds := int(script.End().Seconds()) + 8
-		r := newRig(p, seconds)
+		r := newRigOn(p, prof, seconds)
 		n := apps.NewNotepad(r.sys, 250_000)
 		script.Install(r.sys)
 		r.sys.K.Run(script.End().Add(2 * simtime.Second))

@@ -62,7 +62,7 @@ func runExtInterrupts(ctx context.Context, cfg Config) (Result, error) {
 		row := ExtInterruptsRow{Persona: p.Name, Cycles: map[string]float64{}}
 
 		stolenOf := func(inject func(k *rigKernel)) (stolen simtime.Duration, interrupts int64) {
-			r := newRig(p, 5)
+			r := newRig(cfg, p, 5)
 			defer r.shutdown()
 			before := r.sys.K.CPU().Count(cpu.Interrupts)
 			if inject != nil {
@@ -98,7 +98,7 @@ func runExtInterrupts(ctx context.Context, cfg Config) (Result, error) {
 				}
 			})
 			extra := stolen - baseStolen
-			row.Cycles[name] = float64(simtime.CPUFrequency.CyclesIn(extra)) / n
+			row.Cycles[name] = float64(cfg.MachineProfile().ClockHz.CyclesIn(extra)) / n
 		}
 		res.Systems = append(res.Systems, row)
 	}

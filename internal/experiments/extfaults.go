@@ -116,7 +116,7 @@ func faultsPPT(label string, cfg Config, plan faults.Plan) ExtFaultsRow {
 		pageDowns = []int{2, 3, 3}
 		edits = 2
 	}
-	r := newRig(p, 400)
+	r := newRig(cfg, p, 400)
 	defer r.shutdown()
 	faults.NewClock(plan).Arm(faultsTarget(r, false))
 	ppt := apps.NewPowerpoint(r.sys, params)
@@ -150,7 +150,7 @@ func faultsTyping(label string, cfg Config, plan faults.Plan) ExtFaultsRow {
 	if cfg.Quick {
 		chars = 60
 	}
-	r := newRig(p, 240)
+	r := newRig(cfg, p, 240)
 	defer r.shutdown()
 	faults.NewClock(plan).Arm(faultsTarget(r, true))
 	n := apps.NewNotepad(r.sys, 250_000)
@@ -193,7 +193,7 @@ func faultsBrowser(label string, cfg Config, plan faults.Plan) ExtFaultsRow {
 	if cfg.Quick {
 		views = 8
 	}
-	r := newRig(p, 120)
+	r := newRig(cfg, p, 120)
 	defer r.shutdown()
 	faults.NewClock(plan).Arm(faultsTarget(r, false))
 

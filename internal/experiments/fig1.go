@@ -54,7 +54,7 @@ func runFig1(ctx context.Context, cfg Config) (Result, error) {
 		return nil, err
 	}
 	p := persona.NT40()
-	r := newRig(p, 20)
+	r := newRig(cfg, p, 20)
 	defer r.shutdown()
 
 	// The paper's test program is console-style: keystrokes travel

@@ -74,7 +74,7 @@ func runFig11(ctx context.Context, cfg Config) (Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		events, elapsed, _ := wordTrace(p, cfg.Seed, chars, true)
+		events, elapsed, _ := wordTrace(cfg, p, cfg.Seed, chars, true)
 		rep := core.NewReport(events, elapsed)
 		res.Systems = append(res.Systems, Fig11Persona{
 			Persona: p.Name,
@@ -122,7 +122,7 @@ func runTable2(ctx context.Context, cfg Config) (Result, error) {
 	if cfg.Quick {
 		chars = 150
 	}
-	events, elapsed, _ := wordTrace(persona.NT351(), cfg.Seed, chars, true)
+	events, elapsed, _ := wordTrace(cfg, persona.NT351(), cfg.Seed, chars, true)
 	rep := core.NewReport(events, elapsed)
 	res := &Table2Result{TotalEvents: len(events)}
 	for _, th := range []float64{100, 110, 120} {

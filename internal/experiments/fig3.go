@@ -66,7 +66,7 @@ func runFig3(ctx context.Context, cfg Config) (Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		r := newRig(p, seconds+2)
+		r := newRig(cfg, p, seconds+2)
 		intrBefore := r.sys.K.CPU().Count(cpu.Interrupts)
 		stolenBefore := stolenTotal(r)
 		r.sys.K.Run(simtime.Time(simtime.Duration(seconds) * simtime.Second))

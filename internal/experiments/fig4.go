@@ -61,7 +61,7 @@ func runFig4(ctx context.Context, cfg Config) (Result, error) {
 		return nil, err
 	}
 	p := persona.NT40()
-	r := newRig(p, 10)
+	r := newRig(cfg, p, 10)
 	defer r.shutdown()
 
 	steps, redraw := 22, 105

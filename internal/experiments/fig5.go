@@ -19,7 +19,7 @@ import (
 // arrow-key cursor movement and backspace corrections, varied pacing.
 // testDriven selects Microsoft Test emulation (WM_QUEUESYNC after every
 // input) versus hand-generated input.
-func wordTrace(p persona.P, seed uint64, chars int, testDriven bool) (events []core.Event, elapsed simtime.Duration, w *apps.Word) {
+func wordTrace(cfg Config, p persona.P, seed uint64, chars int, testDriven bool) (events []core.Event, elapsed simtime.Duration, w *apps.Word) {
 	// Insert a newline roughly every 180 characters (paragraph breaks)
 	// and corrections (backspace pairs) every ~60.
 	raw := input.SampleText(chars)
@@ -35,7 +35,7 @@ func wordTrace(p persona.P, seed uint64, chars int, testDriven bool) (events []c
 	}
 
 	secondsBudget := int(float64(len(text))*0.35) + 30
-	r := newRig(p, secondsBudget)
+	r := newRig(cfg, p, secondsBudget)
 	defer r.shutdown()
 	word := apps.NewWord(r.sys, apps.DefaultWordParams())
 
@@ -101,7 +101,7 @@ func runFig5(ctx context.Context, cfg Config) (Result, error) {
 	if cfg.Quick {
 		chars = 150
 	}
-	events, _, _ := wordTrace(persona.NT351(), cfg.Seed, chars, true)
+	events, _, _ := wordTrace(cfg, persona.NT351(), cfg.Seed, chars, true)
 	res := &Fig5Result{Events: events}
 	// Magnify two seconds from the middle of the run.
 	if len(events) > 0 {

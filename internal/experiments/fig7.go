@@ -100,7 +100,7 @@ func runFig7(ctx context.Context, cfg Config) (Result, error) {
 		}
 		script := notepadScript(chars)
 		seconds := int(script.End().Seconds()) + 10
-		r := newRig(p, seconds)
+		r := newRig(cfg, p, seconds)
 		n := apps.NewNotepad(r.sys, 250_000)
 		script.Install(r.sys)
 		end := script.End().Add(2 * simtime.Second)

@@ -74,7 +74,7 @@ func pptSimulate(p persona.P, cfg Config) *pptRun {
 		edits = 2
 	}
 
-	r := newRig(p, 220)
+	r := newRig(cfg, p, 220)
 	defer r.shutdown()
 	ppt := apps.NewPowerpoint(r.sys, params)
 

@@ -64,7 +64,7 @@ func measureOp(ctx context.Context, id, title, operation string, cfg Config, war
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		r := newRig(p, 400)
+		r := newRig(cfg, p, 400)
 		runOnce := prepare(r)
 		for i := 0; i < warmups; i++ {
 			runOnce() // warm caches, as the paper's repeated trials are

@@ -73,12 +73,12 @@ func runS54(ctx context.Context, cfg Config) (Result, error) {
 		return m
 	}
 
-	testEvents, _, wTest := wordTrace(persona.NT351(), cfg.Seed, chars, true)
+	testEvents, _, wTest := wordTrace(cfg, persona.NT351(), cfg.Seed, chars, true)
 	res.TestTypical = typical(testEvents)
 	res.TestMaxMs = maxMs(testEvents)
 	res.TestBackgroundBursts = wTest.BackgroundBursts
 
-	handEvents, _, wHand := wordTrace(persona.NT351(), cfg.Seed+1, chars, false)
+	handEvents, _, wHand := wordTrace(cfg, persona.NT351(), cfg.Seed+1, chars, false)
 	res.HandTypical = typical(handEvents)
 	res.HandMaxMs = maxMs(handEvents)
 	res.HandBackgroundBursts = wHand.BackgroundBursts

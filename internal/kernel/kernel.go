@@ -24,13 +24,20 @@ import (
 	"latlab/internal/disk"
 	"latlab/internal/eventq"
 	"latlab/internal/fscache"
+	"latlab/internal/machine"
 	"latlab/internal/simtime"
 	"latlab/internal/trace"
 )
 
 // Config fixes the machine and OS-mechanism parameters. Personas supply
-// different configs per simulated operating system.
+// different configs per simulated operating system; the hardware side
+// is carried by Machine, with the paper's Pentium as the default.
 type Config struct {
+	// Machine is the hardware profile the kernel boots on: clock rate,
+	// TLB/L2 capacities and tagging, memory-event penalties, and disk
+	// geometry are all derived from it. The zero value means
+	// machine.Pentium100(), the paper's machine.
+	Machine machine.Profile
 	// Quantum is the scheduler timeslice.
 	Quantum simtime.Duration
 	// ContextSwitch is the cost charged when the CPU moves between
@@ -57,16 +64,24 @@ type Config struct {
 	// SetTimer behaviour that produces the paper's Fig. 4 animation
 	// stair pattern.
 	TimersTickAligned bool
-	// DiskParams and CachePages size the storage stack; DiskSeed fixes
-	// rotational phase.
+	// DiskParams overrides the drive parameters when non-zero; the zero
+	// value derives them from Machine (disk.ParamsFor). CachePages
+	// sizes the buffer cache; DiskSeed fixes rotational phase.
 	DiskParams disk.Params
 	CachePages int
 	DiskSeed   uint64
-	// Penalties overrides the CPU cost model when non-zero (personas set
-	// e.g. the domain-crossing cost).
+	// DomainCrossingCycles overrides the direct protection-domain-
+	// crossing cost when non-zero. It is the one penalty the OS owns
+	// (trap path, state save, address-space switch), so personas set it
+	// while the Machine profile supplies the hardware penalties.
+	DomainCrossingCycles int64
+	// Penalties overrides the whole CPU cost model when non-zero,
+	// squashing both the Machine-derived penalties and
+	// DomainCrossingCycles — the pre-profile escape hatch for ablations
+	// that need exact control (including explicit zero fields).
 	Penalties cpu.Penalties
-	// CPUFrequency overrides the simulated clock rate when non-zero
-	// (default 100 MHz, the paper's Pentium). Segment costs are in
+	// CPUFrequency overrides the simulated clock rate when non-zero,
+	// taking precedence over Machine.ClockHz. Segment costs are in
 	// cycles, so a slower clock slows every operation proportionally —
 	// the paper's §5.1 remark that latencies unnoticed on their machine
 	// "might have a significant effect ... on a slower machine".
@@ -87,7 +102,6 @@ func DefaultConfig() Config {
 		MouseInterrupt:       cpu.Segment{Name: "mouseintr", BaseCycles: 1500, Instructions: 900, DataRefs: 350},
 		ModeSwitchCycles:     150,
 		TimersTickAligned:    true,
-		DiskParams:           disk.DefaultParams(),
 		CachePages:           2048, // 8 MB buffer cache out of 32 MB RAM
 		DiskSeed:             1996,
 	}
@@ -153,13 +167,21 @@ type Kernel struct {
 	shutdown   bool
 }
 
-// New builds a kernel (and its machine: CPU, disk, buffer cache) from cfg.
+// New builds a kernel (and its machine: CPU, disk, buffer cache) from
+// cfg. The hardware trio is derived from cfg.Machine (the paper's
+// Pentium when unset); explicit cfg overrides — penalty fields,
+// CPUFrequency, DiskParams — win over the profile derivation.
 func New(cfg Config) *Kernel {
+	prof := cfg.Machine.OrDefault()
+	cfg.Machine = prof
 	k := &Kernel{cfg: cfg}
 	k.q.Grow(256)
 	k.onCompletionFn = k.onCompletion
 	k.reconcileFn = func(now simtime.Time) { k.reconcile() }
-	k.cpu = cpu.New()
+	k.cpu = cpu.NewFor(prof)
+	if cfg.DomainCrossingCycles != 0 {
+		k.cpu.Penalties.DomainCrossing = cfg.DomainCrossingCycles
+	}
 	if cfg.Penalties != (cpu.Penalties{}) {
 		k.cpu.Penalties = cfg.Penalties
 	}
@@ -167,12 +189,19 @@ func New(cfg Config) *Kernel {
 		cfg.CPUFrequency.Validate()
 		k.cpu.Freq = cfg.CPUFrequency
 	}
+	dp := cfg.DiskParams
+	if dp == (disk.Params{}) {
+		dp = disk.ParamsFor(prof)
+	}
 	k.ctrs = cpu.NewCounterFile(k.cpu)
-	k.disk = disk.New(cfg.DiskParams, k, cfg.DiskSeed)
+	k.disk = disk.New(dp, k, cfg.DiskSeed)
 	k.cache = fscache.New(k.disk, cfg.CachePages)
 	k.scheduleClock()
 	return k
 }
+
+// Machine returns the hardware profile the kernel booted on.
+func (k *Kernel) Machine() machine.Profile { return k.cfg.Machine }
 
 // SetHooks installs observation hooks; call before Run.
 func (k *Kernel) SetHooks(h Hooks) { k.hooks = h }

@@ -1,0 +1,257 @@
+// Package machine defines hardware profiles for the simulated machine.
+//
+// The paper attributes interactive-latency differences to architectural
+// causes: the Pentium's untagged TLBs are flushed on every
+// protection-domain crossing (§5.3), the L2 bounds how much working set
+// survives between events, and the raw clock rate scales every code
+// path (§5.1). A Profile makes each of those causes a parameter instead
+// of a constant, so the attributions can be tested as counterfactuals —
+// rerun the same persona on a machine with tagged TLBs and NT 3.51's
+// server-architecture penalty should collapse toward NT 4.0's.
+//
+// Profiles are symmetric with the persona layer: a persona is an OS
+// parameter set over the shared kernel, a Profile is a hardware
+// parameter set under it. Pentium100 is the paper's experimental
+// machine (§2.1) and is the byte-identical default: booting any persona
+// on it reproduces exactly the schedules the simulator produced when
+// the constants were hardcoded. The other profiles are named what-ifs.
+//
+// The package sits below the hardware models: cpu, mem, and disk each
+// derive their own configuration from a Profile (cpu.NewFor,
+// mem.ConfigFor, disk.ParamsFor), and kernel.Config carries the Profile
+// so system.BootOn can thread one machine through a whole boot.
+package machine
+
+import (
+	"fmt"
+
+	"latlab/internal/simtime"
+)
+
+// DiskGeometry describes drive geometry and speed, mirroring the
+// positional service-time model in internal/disk (seek + rotation +
+// transfer). Driver policy (retry budget, backoff) is not geometry and
+// stays in disk.Params.
+type DiskGeometry struct {
+	// Blocks is the drive capacity in 512-byte blocks.
+	Blocks int64
+	// BlocksPerCylinder converts block distance to seek distance.
+	BlocksPerCylinder int64
+	// SeekSettle is the minimum cost of any seek.
+	SeekSettle simtime.Duration
+	// SeekPerCylinder is the incremental cost per cylinder crossed.
+	SeekPerCylinder simtime.Duration
+	// MaxSeek caps the seek cost (full-stroke seek).
+	MaxSeek simtime.Duration
+	// Rotation is the time of one revolution.
+	Rotation simtime.Duration
+	// TransferPerBlock is the media transfer time per 512-byte block.
+	TransferPerBlock simtime.Duration
+	// ControllerOverhead is the fixed per-request command cost.
+	ControllerOverhead simtime.Duration
+}
+
+// Profile is one hardware configuration. The zero value is not a valid
+// machine; use Pentium100 (or OrDefault, which maps the zero value to
+// it so structs embedding a Profile keep working unconfigured).
+type Profile struct {
+	// Name is the full name ("Pentium 100 MHz"); Short a slug ("p100")
+	// used on CLI flags and in run manifests.
+	Name  string
+	Short string
+
+	// ClockHz is the CPU clock. Segment costs are cycle counts, so the
+	// clock scales every computation's wall time; it must divide a
+	// second evenly (see simtime.Hz.Validate).
+	ClockHz simtime.Hz
+
+	// ITLBEntries and DTLBEntries size the instruction and data TLBs.
+	ITLBEntries int
+	DTLBEntries int
+	// TaggedTLB marks TLB entries with an address-space tag, so
+	// protection-domain crossings and process switches do not flush
+	// them — the counterfactual the paper raises against the Pentium's
+	// untagged TLBs (§5.3, reference [5]).
+	TaggedTLB bool
+
+	// L2Bytes and L2LineBytes size the unified L2 cache; the line count
+	// is derived (CacheLines). L2Bytes == 0 means no L2 at all: every
+	// cache reference goes to DRAM. The L2 hit latency is folded into
+	// segment base cycles (a warm hit is the baseline the cost model is
+	// calibrated against); only the miss penalty is explicit.
+	L2Bytes     int
+	L2LineBytes int
+
+	// TLBMissCycles is the cost of one TLB refill (the hardware page
+	// walk); DRAMLatencyCycles the cost of one cache miss to DRAM.
+	// Both are cycle counts: on a faster clock the same absolute
+	// memory latency costs proportionally more cycles, which is why
+	// Pentium200 does not simply halve every latency.
+	TLBMissCycles     int64
+	DRAMLatencyCycles int64
+	// SegLoadCycles and UnalignedCycles are the micro-architectural
+	// costs of a segment-register load and a misaligned access (the
+	// 16-bit code signature Windows 95 pays).
+	SegLoadCycles   int64
+	UnalignedCycles int64
+
+	// Disk is the drive geometry.
+	Disk DiskGeometry
+}
+
+// IsZero reports whether p is the unconfigured zero value.
+func (p Profile) IsZero() bool { return p.ClockHz == 0 }
+
+// OrDefault returns p, or Pentium100 when p is the zero value, so
+// configs that never set a machine keep the paper's hardware.
+func (p Profile) OrDefault() Profile {
+	if p.IsZero() {
+		return Pentium100()
+	}
+	return p
+}
+
+// CacheLines returns the derived L2 line count; 0 means no L2.
+func (p Profile) CacheLines() int {
+	if p.L2Bytes <= 0 || p.L2LineBytes <= 0 {
+		return 0
+	}
+	return p.L2Bytes / p.L2LineBytes
+}
+
+// Validate panics on a malformed profile: a clock without an integral
+// nanosecond period, empty TLBs, or a degenerate disk.
+func (p Profile) Validate() {
+	p.ClockHz.Validate()
+	if p.ITLBEntries <= 0 || p.DTLBEntries <= 0 {
+		panic(fmt.Sprintf("machine: %s has non-positive TLB entries", p.Short))
+	}
+	if p.L2Bytes < 0 || (p.L2Bytes > 0 && p.L2LineBytes <= 0) {
+		panic(fmt.Sprintf("machine: %s has malformed L2 geometry", p.Short))
+	}
+	if p.Disk.Blocks <= 0 || p.Disk.BlocksPerCylinder <= 0 {
+		panic(fmt.Sprintf("machine: %s has degenerate disk geometry", p.Short))
+	}
+}
+
+// fujitsuM1606 is the paper's dedicated SCSI disk (§2.1): ~1 GB,
+// 5400 RPM (11.1 ms/rev), ~10 ms average seek, ~5 MB/s media rate.
+func fujitsuM1606() DiskGeometry {
+	return DiskGeometry{
+		Blocks:             2_000_000,
+		BlocksPerCylinder:  800,
+		SeekSettle:         simtime.FromMillis(1.5),
+		SeekPerCylinder:    8 * simtime.Microsecond,
+		MaxSeek:            simtime.FromMillis(18),
+		Rotation:           simtime.FromMillis(11.1),
+		TransferPerBlock:   100 * simtime.Microsecond, // 512 B / ~5 MB/s
+		ControllerOverhead: simtime.FromMillis(0.5),
+	}
+}
+
+// Pentium100 is the paper's experimental machine (§2.1): 100 MHz
+// Pentium, 32-entry ITLB / 64-entry DTLB (untagged), 256 KB L2 of
+// 32-byte lines, and the Fujitsu M1606SAU disk. It is the default
+// everywhere and is golden-identical: every derived configuration
+// equals the constants the hardware models used before profiles
+// existed.
+func Pentium100() Profile {
+	return Profile{
+		Name:              "Pentium 100 MHz",
+		Short:             "p100",
+		ClockHz:           100_000_000,
+		ITLBEntries:       32,
+		DTLBEntries:       64,
+		L2Bytes:           256 << 10,
+		L2LineBytes:       32,
+		TLBMissCycles:     25,
+		DRAMLatencyCycles: 20,
+		SegLoadCycles:     12,
+		UnalignedCycles:   3,
+		Disk:              fujitsuM1606(),
+	}
+}
+
+// Pentium200 doubles the clock. DRAM and the page walk are absolute
+// latencies, so their cycle costs roughly double (the memory wall);
+// everything compute-bound halves in wall time while memory-bound work
+// barely moves — which is exactly the profile of difference the paper's
+// counter attribution separates.
+func Pentium200() Profile {
+	p := Pentium100()
+	p.Name = "Pentium 200 MHz"
+	p.Short = "p200"
+	p.ClockHz = 200_000_000
+	p.TLBMissCycles = 40
+	p.DRAMLatencyCycles = 40
+	return p
+}
+
+// PentiumTaggedTLB is the paper's §6 counterfactual: the same machine
+// with address-space-tagged TLBs, so protection-domain crossings stop
+// flushing them. NT 3.51's server-architecture penalty — crossings plus
+// consequential TLB refills — should collapse toward NT 4.0's.
+func PentiumTaggedTLB() Profile {
+	p := Pentium100()
+	p.Name = "Pentium 100 MHz, tagged TLBs"
+	p.Short = "ptlb"
+	p.TaggedTLB = true
+	return p
+}
+
+// P100NoL2 removes the L2 entirely: every cache reference pays the DRAM
+// latency, so warm-state reuse — the thing that makes steady-state
+// latency so much better than cold-start in Table 1 — is destroyed for
+// the cache while the TLBs still work.
+func P100NoL2() Profile {
+	p := Pentium100()
+	p.Name = "Pentium 100 MHz, no L2"
+	p.Short = "nol2"
+	p.L2Bytes = 0
+	p.L2LineBytes = 0
+	return p
+}
+
+// P100FastDisk swaps in a faster drive (7200 RPM class, ~10 MB/s): the
+// counterfactual for Table 1's multi-second disk-bound latencies.
+func P100FastDisk() Profile {
+	p := Pentium100()
+	p.Name = "Pentium 100 MHz, fast disk"
+	p.Short = "fastdisk"
+	p.Disk = DiskGeometry{
+		Blocks:             2_000_000,
+		BlocksPerCylinder:  800,
+		SeekSettle:         simtime.FromMillis(1.0),
+		SeekPerCylinder:    5 * simtime.Microsecond,
+		MaxSeek:            simtime.FromMillis(12),
+		Rotation:           simtime.FromMillis(8.33),
+		TransferPerBlock:   50 * simtime.Microsecond, // 512 B / ~10 MB/s
+		ControllerOverhead: simtime.FromMillis(0.3),
+	}
+	return p
+}
+
+// All returns every named profile, default first.
+func All() []Profile {
+	return []Profile{Pentium100(), Pentium200(), PentiumTaggedTLB(), P100NoL2(), P100FastDisk()}
+}
+
+// ByShort returns the profile with the given short name, or ok=false.
+func ByShort(short string) (Profile, bool) {
+	for _, p := range All() {
+		if p.Short == short {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Shorts returns the short names of every profile, in All order.
+func Shorts() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, p := range all {
+		out[i] = p.Short
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package machine_test
+
+import (
+	"testing"
+
+	"latlab/internal/cpu"
+	"latlab/internal/disk"
+	"latlab/internal/machine"
+	"latlab/internal/mem"
+)
+
+// The default profile must be golden-identical: every configuration a
+// hardware model derives from Pentium100 equals the constants that model
+// used before profiles existed.
+func TestPentium100DerivationIdentities(t *testing.T) {
+	p100 := machine.Pentium100()
+	if got, want := cpu.PenaltiesFor(p100), cpu.DefaultPenalties(); got != want {
+		t.Fatalf("PenaltiesFor(p100) = %+v, want %+v", got, want)
+	}
+	if got, want := mem.ConfigFor(p100), mem.DefaultConfig(); got != want {
+		t.Fatalf("ConfigFor(p100) = %+v, want %+v", got, want)
+	}
+	if got, want := disk.ParamsFor(p100), disk.DefaultParams(); got != want {
+		t.Fatalf("ParamsFor(p100) = %+v, want %+v", got, want)
+	}
+	c := cpu.NewFor(p100)
+	if c.Freq != 100_000_000 || c.Penalties != cpu.DefaultPenalties() {
+		t.Fatalf("NewFor(p100) not equivalent to the pre-profile CPU")
+	}
+}
+
+func TestAllProfilesValid(t *testing.T) {
+	all := machine.All()
+	if len(all) == 0 || all[0].Short != "p100" {
+		t.Fatalf("All must list the default profile first, got %v", machine.Shorts())
+	}
+	seen := map[string]bool{}
+	for _, p := range all {
+		p.Validate() // panics on a malformed profile
+		if p.Name == "" || p.Short == "" {
+			t.Fatalf("profile missing names: %+v", p)
+		}
+		if seen[p.Short] {
+			t.Fatalf("duplicate short %q", p.Short)
+		}
+		seen[p.Short] = true
+	}
+	if got, want := len(machine.Shorts()), len(all); got != want {
+		t.Fatalf("Shorts lists %d profiles, want %d", got, want)
+	}
+}
+
+func TestByShort(t *testing.T) {
+	for _, short := range machine.Shorts() {
+		p, ok := machine.ByShort(short)
+		if !ok || p.Short != short {
+			t.Fatalf("ByShort(%q) = %+v, %v", short, p, ok)
+		}
+	}
+	if _, ok := machine.ByShort("p133"); ok {
+		t.Fatalf("ByShort must reject unknown ids")
+	}
+	if _, ok := machine.ByShort(""); ok {
+		t.Fatalf("ByShort must reject the empty id")
+	}
+}
+
+func TestOrDefault(t *testing.T) {
+	var zero machine.Profile
+	if !zero.IsZero() {
+		t.Fatalf("zero profile must report IsZero")
+	}
+	if got := zero.OrDefault(); got.Short != "p100" {
+		t.Fatalf("OrDefault(zero) = %q, want p100", got.Short)
+	}
+	p200 := machine.Pentium200()
+	if got := p200.OrDefault(); got.Short != "p200" {
+		t.Fatalf("OrDefault must keep a configured profile, got %q", got.Short)
+	}
+}
+
+func TestCounterfactualsDifferOnlyWhereClaimed(t *testing.T) {
+	p100 := machine.Pentium100()
+
+	p200 := machine.Pentium200()
+	if p200.ClockHz != 2*p100.ClockHz {
+		t.Fatalf("p200 clock = %v", p200.ClockHz)
+	}
+	if p200.TLBMissCycles <= p100.TLBMissCycles || p200.DRAMLatencyCycles <= p100.DRAMLatencyCycles {
+		t.Fatalf("p200 must pay more cycles per memory access (the memory wall)")
+	}
+	if p200.Disk != p100.Disk {
+		t.Fatalf("p200 must keep the paper's disk")
+	}
+
+	ptlb := machine.PentiumTaggedTLB()
+	if !ptlb.TaggedTLB {
+		t.Fatalf("ptlb must be tagged")
+	}
+	ptlb.TaggedTLB = false
+	ptlb.Name, ptlb.Short = p100.Name, p100.Short
+	if ptlb.ITLBEntries != p100.ITLBEntries || ptlb.DTLBEntries != p100.DTLBEntries ||
+		ptlb.L2Bytes != p100.L2Bytes || ptlb.Disk != p100.Disk {
+		t.Fatalf("ptlb must differ from p100 only in the tag bit")
+	}
+
+	nol2 := machine.P100NoL2()
+	if nol2.CacheLines() != 0 {
+		t.Fatalf("nol2 CacheLines = %d, want 0", nol2.CacheLines())
+	}
+	if p100.CacheLines() != 8192 {
+		t.Fatalf("p100 CacheLines = %d, want 8192 (256K of 32B lines)", p100.CacheLines())
+	}
+
+	fast := machine.P100FastDisk()
+	if fast.Disk.Rotation >= p100.Disk.Rotation || fast.Disk.TransferPerBlock >= p100.Disk.TransferPerBlock {
+		t.Fatalf("fastdisk must actually be faster: %+v", fast.Disk)
+	}
+}
+
+func TestValidatePanicsOnMalformedProfile(t *testing.T) {
+	cases := map[string]func(*machine.Profile){
+		"no TLB":      func(p *machine.Profile) { p.ITLBEntries = 0 },
+		"L2 no lines": func(p *machine.Profile) { p.L2LineBytes = 0 },
+		"no disk":     func(p *machine.Profile) { p.Disk.Blocks = 0 },
+		"odd clock":   func(p *machine.Profile) { p.ClockHz = 3_000_001 },
+	}
+	for name, breakIt := range cases {
+		p := machine.Pentium100()
+		breakIt(&p)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: Validate should panic", name)
+				}
+			}()
+			p.Validate()
+		}()
+	}
+}

@@ -9,6 +9,8 @@
 // respond correctly to working-set size, reuse, and flushes.
 package mem
 
+import "latlab/internal/machine"
+
 // LRU is a fixed-capacity LRU set of 64-bit identifiers. Touch reports
 // hit or miss and makes the identifier most-recently-used, evicting the
 // least-recently-used entry on overflow. The zero value is unusable; use
@@ -161,18 +163,25 @@ func (l *LRU) EvictOldest(n int) int {
 // System bundles the memory structures of the simulated machine. The
 // capacities default to the paper's Pentium: 32-entry instruction TLB,
 // 64-entry data TLB, and a 256 KB L2 modelled as 8192 32-byte lines
-// (identified at a coarser "chunk" granularity by callers).
+// (identified at a coarser "chunk" granularity by callers). Cache is
+// nil on a machine with no L2 — every cache reference then misses.
 type System struct {
 	ITLB  *LRU
 	DTLB  *LRU
 	Cache *LRU
+
+	tagged bool
 }
 
-// Config sets the capacities of a System.
+// Config sets the capacities of a System. CacheLines <= 0 means no L2:
+// the System is built without a cache and every chunk reference pays
+// the miss penalty. TaggedTLB makes FlushTLBs a no-op — entries carry
+// an address-space tag, so they survive protection-domain crossings.
 type Config struct {
 	ITLBEntries int
 	DTLBEntries int
 	CacheLines  int
+	TaggedTLB   bool
 }
 
 // DefaultConfig matches the experimental machine in paper §2.1.
@@ -180,18 +189,43 @@ func DefaultConfig() Config {
 	return Config{ITLBEntries: 32, DTLBEntries: 64, CacheLines: 8192}
 }
 
-// NewSystem builds a System from cfg.
-func NewSystem(cfg Config) *System {
-	return &System{
-		ITLB:  NewLRU(cfg.ITLBEntries),
-		DTLB:  NewLRU(cfg.DTLBEntries),
-		Cache: NewLRU(cfg.CacheLines),
+// ConfigFor derives the memory-system capacities from a hardware
+// profile. ConfigFor(machine.Pentium100()) equals DefaultConfig.
+func ConfigFor(p machine.Profile) Config {
+	p = p.OrDefault()
+	return Config{
+		ITLBEntries: p.ITLBEntries,
+		DTLBEntries: p.DTLBEntries,
+		CacheLines:  p.CacheLines(),
+		TaggedTLB:   p.TaggedTLB,
 	}
 }
 
+// NewSystem builds a System from cfg.
+func NewSystem(cfg Config) *System {
+	s := &System{
+		ITLB:   NewLRU(cfg.ITLBEntries),
+		DTLB:   NewLRU(cfg.DTLBEntries),
+		tagged: cfg.TaggedTLB,
+	}
+	if cfg.CacheLines > 0 {
+		s.Cache = NewLRU(cfg.CacheLines)
+	}
+	return s
+}
+
+// Tagged reports whether the TLBs are address-space tagged.
+func (s *System) Tagged() bool { return s.tagged }
+
 // FlushTLBs empties both TLBs, as the Pentium does on every protection-
-// domain crossing (paper §5.3). The cache survives.
+// domain crossing (paper §5.3). The cache survives. On a tagged-TLB
+// machine this is a no-op: entries are qualified by address-space tag
+// instead of being discarded (page identifiers are globally unique in
+// this simulator, so surviving entries never alias across processes).
 func (s *System) FlushTLBs() {
+	if s.tagged {
+		return
+	}
 	s.ITLB.Flush()
 	s.DTLB.Flush()
 }
@@ -206,8 +240,12 @@ func (s *System) TouchData(pages []uint64) int {
 	return touchAll(s.DTLB, pages)
 }
 
-// TouchCache references a set of cache chunks, returning the miss count.
+// TouchCache references a set of cache chunks, returning the miss
+// count. With no L2 every reference misses.
 func (s *System) TouchCache(chunks []uint64) int {
+	if s.Cache == nil {
+		return len(chunks)
+	}
 	return touchAll(s.Cache, chunks)
 }
 

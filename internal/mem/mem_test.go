@@ -171,3 +171,44 @@ func BenchmarkLRUFlush(b *testing.B) {
 		}
 	}
 }
+
+func TestTaggedTLBSurvivesFlush(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TaggedTLB = true
+	s := NewSystem(cfg)
+	if !s.Tagged() {
+		t.Fatalf("Tagged() should report the config")
+	}
+	code := []uint64{1, 2, 3}
+	data := []uint64{100, 101}
+	s.TouchCode(code)
+	s.TouchData(data)
+	s.FlushTLBs() // no-op on a tagged machine
+	if got := s.TouchCode(code); got != 0 {
+		t.Fatalf("tagged ITLB lost entries across flush: %d misses", got)
+	}
+	if got := s.TouchData(data); got != 0 {
+		t.Fatalf("tagged DTLB lost entries across flush: %d misses", got)
+	}
+}
+
+func TestNoL2EveryCacheReferenceMisses(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CacheLines = 0
+	s := NewSystem(cfg)
+	if s.Cache != nil {
+		t.Fatalf("CacheLines=0 should build no cache")
+	}
+	chunks := []uint64{7, 8, 9}
+	if got := s.TouchCache(chunks); got != 3 {
+		t.Fatalf("no-L2 misses = %d, want all %d", got, len(chunks))
+	}
+	if got := s.TouchCache(chunks); got != 3 {
+		t.Fatalf("no-L2 machine must never warm up, got %d misses", got)
+	}
+	// The TLBs still work without an L2.
+	s.TouchCode([]uint64{1})
+	if got := s.TouchCode([]uint64{1}); got != 0 {
+		t.Fatalf("TLBs should still warm up on a no-L2 machine")
+	}
+}

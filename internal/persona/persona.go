@@ -103,8 +103,11 @@ type P struct {
 	Background []Background
 }
 
-// kcfg builds a kernel.Config with per-persona interrupt and switch costs
-// (cycles at 100 MHz).
+// kcfg builds a kernel.Config with per-persona interrupt and switch
+// costs (cycle counts, so they scale with whatever clock the machine
+// profile supplies at boot). The domain-crossing cost is the only
+// penalty a persona owns; the hardware penalties (TLB refill, DRAM,
+// 16-bit micro-costs) derive from the machine profile in kernel.New.
 func kcfg(clock, kbd, mouse, diskIntr, ctxsw, modeSwitch, crossing int64) kernel.Config {
 	cfg := kernel.DefaultConfig()
 	cfg.ClockInterrupt = cpu.Segment{Name: "clock", BaseCycles: clock,
@@ -118,9 +121,7 @@ func kcfg(clock, kbd, mouse, diskIntr, ctxsw, modeSwitch, crossing int64) kernel
 	cfg.ContextSwitch = cpu.Segment{Name: "ctxsw", BaseCycles: ctxsw,
 		Instructions: ctxsw * 6 / 10, DataRefs: ctxsw / 4, CodePages: []uint64{12}, DataPages: []uint64{13}}
 	cfg.ModeSwitchCycles = modeSwitch
-	p := cpu.DefaultPenalties()
-	p.DomainCrossing = crossing
-	cfg.Penalties = p
+	cfg.DomainCrossingCycles = crossing
 	return cfg
 }
 

@@ -74,6 +74,9 @@ type RunRecord struct {
 	Paper string `json:"paper"`
 	Seed  uint64 `json:"seed"`
 	Quick bool   `json:"quick"`
+	// Machine is the short id of the hardware profile the experiment ran
+	// on ("p100" unless overridden).
+	Machine string `json:"machine"`
 	// WallSeconds is host time spent inside Spec.Run.
 	WallSeconds float64 `json:"wall_seconds"`
 	// SimSeconds is the longest simulated span any report artifact
@@ -104,9 +107,11 @@ func (r RunRecord) Failed() bool { return r.Error != "" }
 
 // Manifest is the structured record of a whole suite run.
 type Manifest struct {
-	StartedAt string  `json:"started_at"`
-	Seed      uint64  `json:"seed"`
-	Quick     bool    `json:"quick"`
+	StartedAt string `json:"started_at"`
+	Seed      uint64 `json:"seed"`
+	Quick     bool   `json:"quick"`
+	// Machine is the short id of the hardware profile the suite ran on.
+	Machine   string  `json:"machine"`
 	Jobs      int     `json:"jobs"`
 	TimeoutS  float64 `json:"timeout_seconds,omitempty"`
 	GoVersion string  `json:"go_version"`
@@ -166,6 +171,7 @@ func Run(ctx context.Context, specs []experiments.Spec, opt Options, emit func(O
 		StartedAt: time.Now().UTC().Format(time.RFC3339),
 		Seed:      opt.Config.Seed,
 		Quick:     opt.Config.Quick,
+		Machine:   opt.Config.MachineProfile().Short,
 		Jobs:      jobs,
 		TimeoutS:  opt.Timeout.Seconds(),
 		GoVersion: runtime.Version(),
@@ -245,7 +251,8 @@ func Run(ctx context.Context, specs []experiments.Spec, opt Options, emit func(O
 		man.Records = append(man.Records, RunRecord{
 			ID: s.ID, Title: s.Title, Paper: s.Paper,
 			Seed: opt.Config.Seed, Quick: opt.Config.Quick,
-			Error: "cancelled", Cancelled: true,
+			Machine: opt.Config.MachineProfile().Short,
+			Error:   "cancelled", Cancelled: true,
 		})
 	}
 	man.WallSeconds = time.Since(start).Seconds()
@@ -262,6 +269,7 @@ func runOne(ctx context.Context, s experiments.Spec, opt Options) Outcome {
 	rec := RunRecord{
 		ID: s.ID, Title: s.Title, Paper: s.Paper,
 		Seed: opt.Config.Seed, Quick: opt.Config.Quick,
+		Machine: opt.Config.MachineProfile().Short,
 	}
 	for attempt := 0; ; attempt++ {
 		cfg := opt.Config

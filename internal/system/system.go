@@ -7,6 +7,7 @@ package system
 
 import (
 	"latlab/internal/kernel"
+	"latlab/internal/machine"
 	"latlab/internal/persona"
 	"latlab/internal/winsys"
 )
@@ -27,6 +28,7 @@ const (
 type System struct {
 	K   *kernel.Kernel
 	P   persona.P
+	M   machine.Profile
 	Win *winsys.WinSys
 
 	focus    *kernel.Thread
@@ -34,11 +36,24 @@ type System struct {
 	nextProc kernel.ProcID
 }
 
-// Boot builds and starts a machine for persona p: kernel, window system,
-// background threads, and (for personas with MouseBusyWait) the mouse
-// router. Call Shutdown when done to release thread goroutines.
+// Boot builds and starts a machine for persona p on the paper's
+// hardware (machine.Pentium100). It is the thin wrapper over BootOn
+// kept so pre-profile call sites migrate mechanically.
 func Boot(p persona.P) *System {
-	s := &System{K: kernel.New(p.Kernel), P: p, nextProc: 1}
+	return BootOn(p, machine.Pentium100())
+}
+
+// BootOn builds and starts persona p on hardware profile prof: kernel,
+// window system, background threads, and (for personas with
+// MouseBusyWait) the mouse router. The persona's kernel config is
+// bound to prof, so the whole boot — CPU clock, TLB/L2 behaviour, disk
+// geometry — runs on that machine. Call Shutdown when done to release
+// thread goroutines.
+func BootOn(p persona.P, prof machine.Profile) *System {
+	prof = prof.OrDefault()
+	cfg := p.Kernel
+	cfg.Machine = prof
+	s := &System{K: kernel.New(cfg), P: p, M: prof, nextProc: 1}
 	s.Win = winsys.New(s.K, p)
 
 	for _, b := range p.Background {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"latlab/internal/kernel"
+	"latlab/internal/machine"
 	"latlab/internal/persona"
 	"latlab/internal/simtime"
 )
@@ -193,5 +194,54 @@ func TestW95KeyboardBypassesRouter(t *testing.T) {
 	// No busy-wait for keys: system mostly idle.
 	if busy := s.K.NonIdleBusyTime(); busy > simtime.FromMillis(10) {
 		t.Fatalf("keyboard path busy = %v, want small", busy)
+	}
+}
+
+// Every persona must boot and echo keystrokes on every hardware profile:
+// the scenario-matrix experiments (ext-hw-*) assume any cell of the
+// persona × machine grid is runnable.
+func TestBootMatrixEveryPersonaOnEveryMachine(t *testing.T) {
+	for _, p := range persona.All() {
+		for _, m := range machine.All() {
+			t.Run(p.Short+"/"+m.Short, func(t *testing.T) {
+				s := BootOn(p, m)
+				defer s.Shutdown()
+				if s.M.Short != m.Short {
+					t.Fatalf("booted machine = %q, want %q", s.M.Short, m.Short)
+				}
+				echoed := 0
+				s.SpawnApp("echo", func(tc *kernel.TC) {
+					for {
+						if tc.GetMessage().Kind == kernel.WMKeyDown {
+							s.Win.TextOut(tc, 1)
+							echoed++
+						}
+					}
+				})
+				for i := 0; i < 3; i++ {
+					at := simtime.Time((50 + 100*i)) * simtime.Time(simtime.Millisecond)
+					s.K.At(at, func(simtime.Time) { s.Inject(kernel.WMKeyDown, 'x', false) })
+				}
+				s.K.Run(simtime.Time(simtime.Second))
+				if echoed != 3 {
+					t.Fatalf("echoed %d keystrokes, want 3", echoed)
+				}
+			})
+		}
+	}
+}
+
+// BootOn with the zero profile must behave exactly like Boot: the
+// compatibility default for configs that never mention hardware.
+func TestBootOnZeroProfileIsPentium100(t *testing.T) {
+	s := BootOn(persona.NT40(), machine.Profile{})
+	defer s.Shutdown()
+	if s.M.Short != "p100" {
+		t.Fatalf("zero profile booted %q, want p100", s.M.Short)
+	}
+	legacy := Boot(persona.NT40())
+	defer legacy.Shutdown()
+	if legacy.M.Short != "p100" {
+		t.Fatalf("Boot() machine = %q, want p100", legacy.M.Short)
 	}
 }
