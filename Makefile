@@ -16,7 +16,7 @@ BENCH_ALLOC_TOL ?= 0.10
 COVER_PKGS   = ./internal/machine ./internal/cpu ./internal/mem ./internal/disk
 COVER_FLOOR ?= 85
 
-.PHONY: all build vet test race verify bench bench-baseline bench-check cover fuzz-smoke repro quick examples clean
+.PHONY: all build vet test race verify bench bench-baseline bench-check cover doclint fuzz-smoke repro quick examples clean
 
 all: build verify
 
@@ -36,8 +36,14 @@ race:
 # the benchmark regression gate and a short fuzz of the CSV parsers.
 # Set LATLAB_SKIP_BENCH=1 to skip the benchmark gate (e.g. on loaded or
 # incomparable hardware), LATLAB_SKIP_COVER=1 to skip the coverage
-# floor, and LATLAB_SKIP_FUZZ=1 to skip the fuzz smoke.
+# floor, LATLAB_SKIP_FUZZ=1 to skip the fuzz smoke, and
+# LATLAB_SKIP_DOCLINT=1 to skip the documentation lint.
 verify: vet race
+	@if [ -z "$$LATLAB_SKIP_DOCLINT" ]; then \
+		$(MAKE) --no-print-directory doclint; \
+	else \
+		echo "doclint skipped (LATLAB_SKIP_DOCLINT set)"; \
+	fi
 	@if [ -z "$$LATLAB_SKIP_COVER" ]; then \
 		$(MAKE) --no-print-directory cover; \
 	else \
@@ -53,6 +59,11 @@ verify: vet race
 	else \
 		echo "fuzz-smoke skipped (LATLAB_SKIP_FUZZ set)"; \
 	fi
+
+# Documentation gate: every internal package needs a package comment and
+# docs on its exported symbols, and every markdown link must resolve.
+doclint:
+	$(GO) run ./cmd/doclint
 
 # Enforce the statement-coverage floor on the hardware-profile packages.
 # Fails if any package dips below COVER_FLOOR percent or if a package
@@ -72,6 +83,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseIdleCSV$$' -fuzztime $(FUZZ_TIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzParseCounterCSV$$' -fuzztime $(FUZZ_TIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzParseMsgCSV$$' -fuzztime $(FUZZ_TIME) ./internal/trace
+	$(GO) test -run '^$$' -fuzz '^FuzzParseAttribCSV$$' -fuzztime $(FUZZ_TIME) ./internal/trace
 
 # One benchmark per paper table/figure, plus ablations.
 bench:

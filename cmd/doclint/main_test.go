@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes a map of relative path -> contents under a
+// fresh temp dir and returns its root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, body := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// runLint runs doclint -root on the tree and returns (exit, stdout,
+// stderr).
+func runLint(t *testing.T, root string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-root", root}, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestCleanTree(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/ok/ok.go": `// Package ok is fully documented.
+package ok
+
+// Answer is the answer.
+const Answer = 42
+
+// Widget is a documented type.
+type Widget struct{}
+
+// Spin is a documented method.
+func (w *Widget) Spin() {}
+
+// Do is a documented function.
+func Do() {}
+`,
+		"README.md": "See [the doc](docs/guide.md) and [site](https://example.com) and [top](#top).\n",
+		"docs/guide.md": "Back to [readme](../README.md).\n",
+	})
+	code, out, errOut := runLint(t, root)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout=%q stderr=%q", code, out, errOut)
+	}
+	if !strings.Contains(out, "doclint: ok") {
+		t.Errorf("stdout = %q, want doclint: ok", out)
+	}
+}
+
+func TestMissingPackageComment(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/bare/bare.go": "package bare\n",
+	})
+	code, out, errOut := runLint(t, root)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr=%q", code, errOut)
+	}
+	if !strings.Contains(out, "package bare has no package comment") {
+		t.Errorf("stdout = %q, want missing-package-comment finding", out)
+	}
+	if !strings.Contains(errOut, "doclint: 1 problems") {
+		t.Errorf("stderr = %q, want problem count", errOut)
+	}
+}
+
+func TestUndocumentedExports(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/gaps/gaps.go": `// Package gaps has documentation gaps.
+package gaps
+
+const Naked = 1
+
+type Bare struct{}
+
+func (b Bare) Method() {}
+
+func Loose() {}
+
+type hidden struct{}
+
+func (h *hidden) Exported() {} // method of unexported type: exempt
+
+func private() {}
+`,
+	})
+	code, out, _ := runLint(t, root)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout=%q", code, out)
+	}
+	for _, want := range []string{
+		"exported const Naked has no doc comment",
+		"exported type Bare has no doc comment",
+		"exported method Bare.Method has no doc comment",
+		"exported function Loose has no doc comment",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q; got:\n%s", want, out)
+		}
+	}
+	for _, reject := range []string{"hidden", "private"} {
+		if strings.Contains(out, reject) {
+			t.Errorf("stdout flags unexported symbol %q:\n%s", reject, out)
+		}
+	}
+}
+
+func TestDocumentedGroupCoversMembers(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/grouped/grouped.go": `// Package grouped documents its const block once.
+package grouped
+
+// Sizes of things, in the repo's usual one-comment-per-block idiom.
+const (
+	Small = 1
+	Large = 2
+)
+`,
+	})
+	code, out, errOut := runLint(t, root)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout=%q stderr=%q", code, out, errOut)
+	}
+}
+
+func TestTestFilesAndTestdataExempt(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/ok/ok.go": `// Package ok is documented.
+package ok
+`,
+		"internal/ok/ok_test.go": `package ok
+
+func Undocumented() {}
+`,
+		"internal/ok/testdata/frag.go": "package broken syntax here\n",
+	})
+	code, out, errOut := runLint(t, root)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout=%q stderr=%q", code, out, errOut)
+	}
+}
+
+func TestBrokenMarkdownLink(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"README.md": "A [dangling link](missing.md) here.\n",
+	})
+	code, out, _ := runLint(t, root)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout=%q", code, out)
+	}
+	if !strings.Contains(out, "README.md:1: broken link missing.md") {
+		t.Errorf("stdout = %q, want broken-link finding with file:line", out)
+	}
+}
+
+func TestMarkdownSkipsFencesAnchorsAndSchemes(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"NOTES.md": "```\n[inside fence](nope.md)\n```\n" +
+			"[anchor](#section) [web](https://example.com/x.md) [mail](mailto:a@b.c)\n" +
+			"[frag ok](REAL.md#part)\n",
+		"REAL.md": "real\n",
+	})
+	code, out, errOut := runLint(t, root)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout=%q stderr=%q", code, out, errOut)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-nonsense"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

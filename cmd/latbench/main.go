@@ -13,6 +13,12 @@
 //	latbench [-quick] [-seed N] [-run fig7,table1] [-machine p200]
 //	         [-out results.txt] [-jobs N] [-timeout 5m] [-retries N]
 //	         [-json manifest.json] [-csv-dir dir] [-svg-dir dir]
+//	         [-trace trace.json] [-attrib attrib.csv]
+//
+// -trace records latency-attribution spans on every simulated machine
+// and writes them as Chrome trace-event JSON (load the file in Perfetto
+// or chrome://tracing); -attrib reduces the same spans to a per-episode
+// "where did the time go" CSV (render it with traceview -attrib).
 package main
 
 import (
@@ -29,6 +35,8 @@ import (
 	"latlab/internal/experiments"
 	"latlab/internal/machine"
 	"latlab/internal/runner"
+	"latlab/internal/spans"
+	"latlab/internal/trace"
 	"latlab/internal/viz"
 )
 
@@ -52,15 +60,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeout   = fs.Duration("timeout", 0, "per-experiment-attempt timeout (0 = none)")
 		retries   = fs.Int("retries", 0, "retry a failed experiment up to N times with perturbed seeds")
 		jsonPath  = fs.String("json", "", "write a JSON run manifest to this file")
+		tracePath = fs.String("trace", "", "write a Chrome trace-event JSON of every machine's spans (Perfetto-loadable)")
+		attrPath  = fs.String("attrib", "", "write a per-episode latency-attribution CSV of every machine's spans")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	if *list {
-		fmt.Fprintf(stdout, "%-14s %-55s %s\n", "id", "title", "paper")
-		for _, s := range experiments.All() {
-			fmt.Fprintf(stdout, "%-14s %-55s %s\n", s.ID, s.Title, s.Paper)
+		groups := []struct {
+			title string
+			match func(id string) bool
+		}{
+			{"paper figures", func(id string) bool { return strings.HasPrefix(id, "fig") }},
+			{"paper tables & sections", func(id string) bool { return !strings.HasPrefix(id, "ext-") }},
+			{"extensions (beyond the paper)", func(id string) bool { return true }},
+		}
+		claimed := map[string]bool{}
+		for i, g := range groups {
+			first := true
+			for _, s := range experiments.All() {
+				if claimed[s.ID] || !g.match(s.ID) {
+					continue
+				}
+				claimed[s.ID] = true
+				if first {
+					if i > 0 {
+						fmt.Fprintln(stdout)
+					}
+					fmt.Fprintf(stdout, "%s:\n", g.title)
+					first = false
+				}
+				fmt.Fprintf(stdout, "  %-14s %-55s %s\n", s.ID, s.Title, s.Paper)
+			}
 		}
 		fmt.Fprintf(stdout, "\nmachine profiles (-machine):\n")
 		fmt.Fprintf(stdout, "%-10s %-28s %8s %9s %7s %6s\n", "id", "name", "clock", "itlb/dtlb", "l2", "tagged")
@@ -104,7 +136,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, id := range strings.Split(*runArg, ",") {
 			s, ok := experiments.ByID(strings.TrimSpace(id))
 			if !ok {
-				fmt.Fprintf(stderr, "latbench: unknown experiment %q (try -list)\n", id)
+				var ids []string
+				for _, sp := range experiments.All() {
+					ids = append(ids, sp.ID)
+				}
+				fmt.Fprintf(stderr, "latbench: unknown experiment %q (valid: %s)\n",
+					id, strings.Join(ids, ", "))
 				return 1
 			}
 			specs = append(specs, s)
@@ -135,16 +172,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exportArtifacts(*csvDir, *svgDir, out.Spec.ID, out.Result)
 	}
 
+	var col *spans.Collector
+	if *tracePath != "" || *attrPath != "" {
+		col = &spans.Collector{}
+	}
 	opt := runner.Options{
 		Jobs:    *jobs,
 		Timeout: *timeout,
 		Retries: *retries,
-		Config:  experiments.Config{Seed: *seed, Quick: *quick, Machine: prof},
+		Config:  experiments.Config{Seed: *seed, Quick: *quick, Machine: prof, Trace: col},
 	}
 	man, err := runner.Run(context.Background(), specs, opt, emit)
 	if err != nil {
 		fmt.Fprintf(stderr, "latbench: %v\n", err)
 		return 1
+	}
+
+	if *tracePath != "" {
+		if err := writeAtomic(*tracePath, func(w io.Writer) error {
+			return spans.WriteChrome(w, col.Tracks())
+		}); err != nil {
+			fmt.Fprintf(stderr, "latbench: writing trace: %v\n", err)
+			return 1
+		}
+	}
+	if *attrPath != "" {
+		if err := writeAtomic(*attrPath, func(w io.Writer) error {
+			return trace.WriteAttribCSV(w, attribRecords(col.Tracks()))
+		}); err != nil {
+			fmt.Fprintf(stderr, "latbench: writing attribution: %v\n", err)
+			return 1
+		}
 	}
 
 	if *jsonPath != "" {
@@ -175,6 +233,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// attribRecords reduces collected span tracks to per-episode
+// attribution records: one row per interactive event, labelled
+// "track: message", with its wall time decomposed by cause.
+func attribRecords(tracks []spans.Track) []trace.AttribRecord {
+	var recs []trace.AttribRecord
+	for _, tr := range tracks {
+		eps, _ := spans.Episodes(tr.Spans)
+		for _, ep := range eps {
+			recs = append(recs, trace.AttribRecord{
+				Label:  tr.Name + ": " + ep.Label,
+				Start:  ep.Start,
+				End:    ep.End,
+				Causes: ep.A.CauseDurations(),
+			})
+		}
+	}
+	return recs
+}
+
+// writeAtomic renders through an atomicFile so a failed export never
+// leaves a truncated file at path.
+func writeAtomic(path string, render func(w io.Writer) error) error {
+	af, err := newAtomicFile(path)
+	if err != nil {
+		return err
+	}
+	defer af.abort()
+	if err := render(af); err != nil {
+		return err
+	}
+	return af.commit()
 }
 
 // firstLine trims a multi-line error (panic messages carry stacks) for

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -8,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"latlab/internal/trace"
 )
 
 func TestList(t *testing.T) {
@@ -15,10 +18,21 @@ func TestList(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errBuf); code != 0 {
 		t.Fatalf("exit %d: %s", code, errBuf.String())
 	}
-	for _, id := range []string{"fig1", "table1", "table2", "ext-slowcpu"} {
+	for _, id := range []string{"fig1", "table1", "table2", "ext-slowcpu", "ext-attrib"} {
 		if !strings.Contains(out.String(), id) {
 			t.Fatalf("list missing %s:\n%s", id, out.String())
 		}
+	}
+	// Experiments are listed in groups.
+	for _, header := range []string{"paper figures:", "paper tables & sections:", "extensions (beyond the paper):"} {
+		if !strings.Contains(out.String(), header) {
+			t.Fatalf("list missing group header %q:\n%s", header, out.String())
+		}
+	}
+	// s54 (a section, not a figure or extension) lands in the tables group.
+	tables := out.String()[strings.Index(out.String(), "paper tables"):strings.Index(out.String(), "extensions (")]
+	if !strings.Contains(tables, "s54") {
+		t.Fatalf("s54 not grouped under tables & sections:\n%s", tables)
 	}
 }
 
@@ -46,6 +60,75 @@ func TestUnknownExperiment(t *testing.T) {
 	}
 	if !strings.Contains(errBuf.String(), "unknown experiment") {
 		t.Fatalf("stderr = %q", errBuf.String())
+	}
+	// The error names the valid ids, matching -machine's error style.
+	if !strings.Contains(errBuf.String(), "valid:") || !strings.Contains(errBuf.String(), "fig1") {
+		t.Fatalf("stderr missing valid-id list: %q", errBuf.String())
+	}
+}
+
+// TestTraceAndAttribExport runs one experiment with span recording and
+// checks the Chrome trace is loadable JSON in the trace-event shape and
+// the attribution CSV round-trips through the trace parser.
+func TestTraceAndAttribExport(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	attrPath := filepath.Join(dir, "attrib.csv")
+	var out, errBuf strings.Builder
+	code := run([]string{"-quick", "-run", "ext-attrib", "-trace", tracePath, "-attrib", attrPath}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace not JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) == 0 {
+		t.Fatalf("trace shape wrong: unit=%q events=%d", doc.DisplayTimeUnit, len(doc.TraceEvents))
+	}
+	sawMeta, sawComplete := false, false
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			sawMeta = true
+		case "X":
+			sawComplete = true
+		}
+	}
+	if !sawMeta || !sawComplete {
+		t.Fatalf("trace missing metadata or complete events (M=%v X=%v)", sawMeta, sawComplete)
+	}
+
+	f, err := os.Open(attrPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := trace.ParseAttribCSV(f)
+	if err != nil {
+		t.Fatalf("attribution CSV does not parse: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("attribution CSV has no episodes")
+	}
+	for _, r := range recs {
+		if !strings.Contains(r.Label, "Windows NT") || !strings.Contains(r.Label, "WM_") {
+			t.Fatalf("episode label %q missing track or message name", r.Label)
+		}
+		if r.Latency() <= 0 || len(r.Causes) == 0 {
+			t.Fatalf("degenerate episode record: %+v", r)
+		}
 	}
 }
 
@@ -228,6 +311,44 @@ func TestFaultExperimentsDeterministicAcrossJobs(t *testing.T) {
 	if renders[0] != renders[1] {
 		t.Fatalf("fault suite render differs between -jobs 1 and -jobs 8 (lens %d vs %d)",
 			len(renders[0]), len(renders[1]))
+	}
+}
+
+// TestTraceDeterministicAcrossJobs is the -jobs property for the span
+// exports: track naming must not depend on pool completion order. The
+// experiment set covers the two historical hazards — ext-interrupts
+// boots several same-named rigs per persona (suffix order), and
+// fig8+table1 share the PowerPoint memo (whichever spec simulates it
+// deposits its spans).
+func TestTraceDeterministicAcrossJobs(t *testing.T) {
+	dir := t.TempDir()
+	var exports [][2][]byte
+	for _, jobs := range []int{1, 8} {
+		tr := filepath.Join(dir, fmt.Sprintf("t%d.json", jobs))
+		at := filepath.Join(dir, fmt.Sprintf("a%d.csv", jobs))
+		var out, errBuf strings.Builder
+		code := run([]string{"-quick", "-run", "ext-interrupts,fig8,table1",
+			"-jobs", strconv.Itoa(jobs), "-trace", tr, "-attrib", at}, &out, &errBuf)
+		if code != 0 {
+			t.Fatalf("jobs=%d exit %d: %s", jobs, code, errBuf.String())
+		}
+		trData, err := os.ReadFile(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		atData, err := os.ReadFile(at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exports = append(exports, [2][]byte{trData, atData})
+	}
+	if !bytes.Equal(exports[0][0], exports[1][0]) {
+		t.Errorf("trace JSON differs between -jobs 1 and -jobs 8 (lens %d vs %d)",
+			len(exports[0][0]), len(exports[1][0]))
+	}
+	if !bytes.Equal(exports[0][1], exports[1][1]) {
+		t.Errorf("attrib CSV differs between -jobs 1 and -jobs 8 (lens %d vs %d)",
+			len(exports[0][1]), len(exports[1][1]))
 	}
 }
 

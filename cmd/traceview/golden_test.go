@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update regenerates the golden corpus instead of comparing against it:
+//
+//	go test ./cmd/traceview -update
+var update = flag.Bool("update", false, "rewrite testdata/golden files from current output")
+
+// TestGolden locks every traceview rendering mode byte-for-byte against
+// checked-in inputs: the utilization profile at full resolution and
+// bucketed, and the attribution table. The renderers are deterministic,
+// so any diff is a presentation change that must be reviewed.
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"profile", []string{"-in", filepath.Join("testdata", "samples.csv"), "-width", "60", "-height", "8"}},
+		{"profile-bucketed", []string{"-in", filepath.Join("testdata", "samples.csv"), "-bucket-ms", "5", "-width", "60", "-height", "8"}},
+		{"attrib", []string{"-attrib", filepath.Join("testdata", "attrib.csv")}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errBuf strings.Builder
+			if code := run(tc.args, &out, &errBuf); code != 0 {
+				t.Fatalf("exit %d: %s", code, errBuf.String())
+			}
+			path := filepath.Join("testdata", "golden", tc.name+".txt")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(out.String()), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test ./cmd/traceview -update`): %v", err)
+			}
+			if !bytes.Equal(want, []byte(out.String())) {
+				t.Fatalf("output differs from %s:\nwant:\n%s\ngot:\n%s", path, want, out.String())
+			}
+		})
+	}
+}

@@ -1,11 +1,14 @@
 // Command traceview renders an idle-sample CSV (as written by idleprof
 // or trace.WriteIdleCSV) as a CPU-utilization profile, at full 1 ms
-// resolution or averaged into buckets — the two views of paper Fig. 4.
+// resolution or averaged into buckets — the two views of paper Fig. 4 —
+// or renders a latency-attribution CSV (as written by latbench -attrib)
+// as the "where did the time go" table.
 //
 // Usage:
 //
 //	traceview -in samples.csv
 //	traceview -in samples.csv -bucket-ms 10
+//	traceview -attrib attrib.csv
 package main
 
 import (
@@ -28,7 +31,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("traceview", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		in       = fs.String("in", "", "idle-sample CSV file (required)")
+		in       = fs.String("in", "", "idle-sample CSV file")
+		attr     = fs.String("attrib", "", "latency-attribution CSV file (as written by latbench -attrib)")
 		bucketMs = fs.Float64("bucket-ms", 0, "averaging bucket (0 = full resolution)")
 		width    = fs.Int("width", 110, "plot width")
 		height   = fs.Int("height", 12, "plot height")
@@ -36,10 +40,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *in == "" {
-		fmt.Fprintln(stderr, "traceview: -in is required")
+	if (*in == "") == (*attr == "") {
+		fmt.Fprintln(stderr, "traceview: exactly one of -in or -attrib is required")
 		fs.Usage()
 		return 2
+	}
+	if *attr != "" {
+		return runAttrib(*attr, stdout, stderr)
 	}
 
 	f, err := os.Open(*in)
@@ -68,6 +75,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	title := fmt.Sprintf("%s — %d samples, %s, busy %v", *in, len(samples), mode, stolen)
 	if err := viz.Profile(stdout, title, pts, *width, *height); err != nil {
+		fmt.Fprintln(stderr, "traceview:", err)
+		return 1
+	}
+	return 0
+}
+
+// runAttrib renders an attribution CSV as the per-cause table.
+func runAttrib(path string, stdout, stderr io.Writer) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "traceview:", err)
+		return 1
+	}
+	defer f.Close()
+	recs, err := trace.ParseAttribCSV(f)
+	if err != nil {
+		fmt.Fprintln(stderr, "traceview:", err)
+		return 1
+	}
+	if err := viz.AttribTable(stdout, path, recs); err != nil {
 		fmt.Fprintln(stderr, "traceview:", err)
 		return 1
 	}

@@ -55,10 +55,35 @@ func TestRenderBucketed(t *testing.T) {
 	}
 }
 
+func TestAttribMode(t *testing.T) {
+	var out, errBuf strings.Builder
+	if code := run([]string{"-attrib", filepath.Join("testdata", "attrib.csv")}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "where did the time go?") || !strings.Contains(got, "tlb-miss") {
+		t.Fatalf("attribution table wrong:\n%s", got)
+	}
+}
+
 func TestErrors(t *testing.T) {
 	var out, errBuf strings.Builder
 	if code := run(nil, &out, &errBuf); code != 2 {
 		t.Fatalf("missing -in: exit %d", code)
+	}
+	// -in and -attrib are mutually exclusive.
+	if code := run([]string{"-in", "a.csv", "-attrib", "b.csv"}, &out, &errBuf); code != 2 {
+		t.Fatalf("both inputs: exit %d", code)
+	}
+	if code := run([]string{"-attrib", "/nonexistent/attrib.csv"}, &out, &errBuf); code != 1 {
+		t.Fatalf("missing attrib file: exit %d", code)
+	}
+	badAttrib := filepath.Join(t.TempDir(), "bad-attrib.csv")
+	if err := os.WriteFile(badAttrib, []byte("not an attrib csv"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-attrib", badAttrib}, &out, &errBuf); code != 1 {
+		t.Fatalf("bad attrib csv: exit %d", code)
 	}
 	if code := run([]string{"-in", "/nonexistent/file.csv"}, &out, &errBuf); code != 1 {
 		t.Fatalf("missing file: exit %d", code)

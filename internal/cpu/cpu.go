@@ -16,6 +16,7 @@ import (
 	"latlab/internal/machine"
 	"latlab/internal/mem"
 	"latlab/internal/simtime"
+	"latlab/internal/spans"
 )
 
 // Penalties holds the cycle costs of memory-system events.
@@ -109,6 +110,16 @@ type CPU struct {
 	Penalties Penalties
 
 	counts [NumEventKinds]int64
+	rec    *spans.Recorder
+	clock  func() simtime.Time
+}
+
+// SetRecorder attaches a span recorder reading simulated time from
+// clock; recording propagates to the memory system. A nil recorder
+// restores the untraced hot path exactly.
+func (c *CPU) SetRecorder(rec *spans.Recorder, clock func() simtime.Time) {
+	c.rec, c.clock = rec, clock
+	c.Mem.SetRecorder(rec)
 }
 
 // New returns a CPU for the paper's machine.
@@ -146,6 +157,9 @@ func (c *CPU) Snapshot() [NumEventKinds]int64 { return c.counts }
 // Execute runs a segment against the memory system and returns its cost.
 // It updates the event counters as a side effect.
 func (c *CPU) Execute(seg Segment) (cycles int64, d simtime.Duration) {
+	if c.rec != nil {
+		return c.executeTraced(seg)
+	}
 	im := c.Mem.TouchCode(seg.CodePages)
 	dm := c.Mem.TouchData(seg.DataPages)
 	cm := c.Mem.TouchCache(seg.CacheChunks)
@@ -174,7 +188,58 @@ func (c *CPU) DomainCross() (cycles int64, d simtime.Duration) {
 	c.Mem.FlushTLBs()
 	c.counts[DomainCrossings]++
 	cycles = c.Penalties.DomainCrossing
-	return cycles, c.Freq.DurationOf(cycles)
+	d = c.Freq.DurationOf(cycles)
+	if c.rec != nil {
+		now := c.clock()
+		c.rec.ChargeSpan(spans.CauseDomainCross, "cross", now, now.Add(d), cycles, 1)
+	}
+	return cycles, d
+}
+
+// executeTraced is Execute with span emission: one CauseExec container
+// covering the whole segment, with leaf children laid out sequentially
+// in the order the hardware would pay them — base work first, then TLB
+// refills, cache fills, segment loads, and unaligned fixups. The cost
+// arithmetic and counter updates are identical to the untraced path.
+func (c *CPU) executeTraced(seg Segment) (cycles int64, d simtime.Duration) {
+	im := c.Mem.TouchCode(seg.CodePages)
+	dm := c.Mem.TouchData(seg.DataPages)
+	cm := c.Mem.TouchCache(seg.CacheChunks)
+
+	tlbMisses := int64(im + dm)
+	tlbCyc := tlbMisses * c.Penalties.TLBMiss
+	cacheCyc := int64(cm) * c.Penalties.CacheMiss
+	segCyc := seg.SegmentLoads * c.Penalties.SegmentLoad
+	unalCyc := seg.UnalignedAccesses * c.Penalties.Unaligned
+	cycles = seg.BaseCycles + tlbCyc + cacheCyc + segCyc + unalCyc
+
+	c.counts[Instructions] += seg.Instructions
+	c.counts[DataRefs] += seg.DataRefs
+	c.counts[ITLBMisses] += int64(im)
+	c.counts[DTLBMisses] += int64(dm)
+	c.counts[CacheMisses] += int64(cm)
+	c.counts[SegmentLoads] += seg.SegmentLoads
+	c.counts[UnalignedAccesses] += seg.UnalignedAccesses
+
+	d = c.Freq.DurationOf(cycles)
+	t := c.clock()
+	ex := c.rec.BeginAt(spans.CauseExec, seg.Name, t)
+	charge := func(cause spans.Cause, cyc, count int64) {
+		if cyc == 0 && count == 0 {
+			return
+		}
+		end := t.Add(c.Freq.DurationOf(cyc))
+		c.rec.ChargeSpan(cause, seg.Name, t, end, cyc, count)
+		t = end
+	}
+	charge(spans.CauseBase, seg.BaseCycles, 0)
+	charge(spans.CauseTLBMiss, tlbCyc, tlbMisses)
+	charge(spans.CauseCacheMiss, cacheCyc, int64(cm))
+	charge(spans.CauseSegLoad, segCyc, seg.SegmentLoads)
+	charge(spans.CauseUnaligned, unalCyc, seg.UnalignedAccesses)
+	c.rec.EndAt(ex, t)
+
+	return cycles, d
 }
 
 // CycleAt returns the free-running 64-bit cycle counter value at instant

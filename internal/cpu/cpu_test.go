@@ -6,6 +6,7 @@ import (
 
 	"latlab/internal/machine"
 	"latlab/internal/simtime"
+	"latlab/internal/spans"
 )
 
 func TestEventKindStrings(t *testing.T) {
@@ -263,5 +264,72 @@ func TestExecuteHotPathAllocFree(t *testing.T) {
 		}); avg != 0 {
 			t.Fatalf("%s: execute/cross/execute allocates %.1f per run", prof.Short, avg)
 		}
+	}
+}
+
+// With a recorder attached the hot path may append spans but must not
+// allocate once the recorder's slab is pre-grown; detaching it restores
+// the exact untraced path (zero appends, zero allocations).
+func TestExecuteTracedAllocBounded(t *testing.T) {
+	c := New()
+	rec := spans.NewRecorder(func() simtime.Time { return 0 })
+	rec.Grow(1 << 16)
+	c.SetRecorder(rec, func() simtime.Time { return 0 })
+	seg := Segment{
+		Name:        "seg",
+		BaseCycles:  1000,
+		CodePages:   []uint64{1, 2, 3},
+		DataPages:   []uint64{10, 11},
+		CacheChunks: []uint64{50, 51},
+	}
+	c.Execute(seg)
+	if avg := testing.AllocsPerRun(200, func() {
+		c.Execute(seg)
+		c.DomainCross()
+		c.Execute(seg)
+	}); avg != 0 {
+		t.Fatalf("traced execute/cross/execute allocates %.1f per run", avg)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("recorder captured nothing")
+	}
+
+	c.SetRecorder(nil, nil)
+	before := rec.Len()
+	c.Execute(seg)
+	c.DomainCross()
+	if rec.Len() != before {
+		t.Fatal("detached recorder still captured spans")
+	}
+}
+
+// The traced cost model must charge exactly what the untraced one does.
+func TestTracedExecuteCostIdentical(t *testing.T) {
+	seg := Segment{
+		Name:              "seg",
+		BaseCycles:        1000,
+		CodePages:         []uint64{1, 2, 3},
+		DataPages:         []uint64{10, 11},
+		CacheChunks:       []uint64{50, 51},
+		SegmentLoads:      4,
+		UnalignedAccesses: 7,
+		Instructions:      500,
+		DataRefs:          200,
+	}
+	plain := New()
+	traced := New()
+	rec := spans.NewRecorder(func() simtime.Time { return 0 })
+	traced.SetRecorder(rec, func() simtime.Time { return 0 })
+	for i := 0; i < 3; i++ {
+		pc, pd := plain.Execute(seg)
+		tc2, td := traced.Execute(seg)
+		if pc != tc2 || pd != td {
+			t.Fatalf("run %d: traced (%d, %v) != untraced (%d, %v)", i, tc2, td, pc, pd)
+		}
+		plain.DomainCross()
+		traced.DomainCross()
+	}
+	if plain.Snapshot() != traced.Snapshot() {
+		t.Fatalf("counters diverged:\nplain  %v\ntraced %v", plain.Snapshot(), traced.Snapshot())
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"latlab/internal/machine"
 	"latlab/internal/rng"
 	"latlab/internal/simtime"
+	"latlab/internal/spans"
 )
 
 // Scheduler is the slice of the simulator the disk needs: the current
@@ -155,7 +156,14 @@ type Disk struct {
 	fm        FaultModel
 	retries   int64
 	mediaErrs int64
+
+	rec *spans.Recorder
 }
+
+// SetRecorder attaches a span recorder; nil restores the untraced path.
+// Recording never perturbs the schedule: the same random draws happen in
+// the same order with or without it.
+func (d *Disk) SetRecorder(rec *spans.Recorder) { d.rec = rec }
 
 // New creates a disk with the given parameters, driven by sched. The seed
 // fixes the rotational-phase sequence so runs are reproducible.
@@ -195,21 +203,64 @@ func (d *Disk) MediaErrors() int64 { return d.mediaErrs }
 // head position, without side effects on queue state. Exposed for tests
 // and capacity planning.
 func (d *Disk) ServiceTime(r Request, rotFrac float64) simtime.Duration {
+	ctrl, seek, rot, xfer := d.serviceParts(r, rotFrac)
+	return ctrl + seek + rot + xfer
+}
+
+// serviceParts decomposes the service time of r into its mechanical
+// components from the current head position. ServiceTime is their sum;
+// the span layer records them individually.
+func (d *Disk) serviceParts(r Request, rotFrac float64) (ctrl, seek, rot, xfer simtime.Duration) {
 	dist := r.Block - d.head
 	if dist < 0 {
 		dist = -dist
 	}
 	cyl := dist / d.params.BlocksPerCylinder
-	seek := simtime.Duration(0)
 	if cyl > 0 {
 		seek = d.params.SeekSettle + simtime.Duration(cyl)*d.params.SeekPerCylinder
 		if seek > d.params.MaxSeek {
 			seek = d.params.MaxSeek
 		}
 	}
-	rot := simtime.Duration(rotFrac * float64(d.params.Rotation))
-	xfer := simtime.Duration(r.Blocks) * d.params.TransferPerBlock
-	return d.params.ControllerOverhead + seek + rot + xfer
+	rot = simtime.Duration(rotFrac * float64(d.params.Rotation))
+	xfer = simtime.Duration(r.Blocks) * d.params.TransferPerBlock
+	return d.params.ControllerOverhead, seek, rot, xfer
+}
+
+// opLabel returns the stable trace label of an operation.
+func opLabel(op Op) string {
+	if op == Write {
+		return "disk write"
+	}
+	return "disk read"
+}
+
+// recordService emits the span decomposition of one media attempt that
+// starts at start, stalls for stall, and then services for svc. The
+// parts are laid out sequentially (stall, controller, seek, rotation,
+// transfer); any service time beyond the nominal mechanical sum is the
+// degraded-mode surcharge from fault injection.
+func (d *Disk) recordService(r Request, rotFrac float64, start simtime.Time, stall, svc simtime.Duration) {
+	ctrl, seek, rot, xfer := d.serviceParts(r, rotFrac)
+	label := opLabel(r.Op)
+	io := d.rec.BeginAt(spans.CauseDiskIO, label, start)
+	t := start
+	part := func(c spans.Cause, dur simtime.Duration, count int64) {
+		if dur == 0 && count == 0 {
+			return
+		}
+		d.rec.ChargeSpan(c, label, t, t.Add(dur), 0, count)
+		t = t.Add(dur)
+	}
+	part(spans.CauseDiskStall, stall, 0)
+	part(spans.CauseDiskCtrl, ctrl, 0)
+	part(spans.CauseDiskSeek, seek, 0)
+	part(spans.CauseDiskRot, rot, 0)
+	part(spans.CauseDiskXfer, xfer, r.Blocks)
+	if extra := svc - (ctrl + seek + rot + xfer); extra > 0 {
+		part(spans.CauseDiskDegraded, extra, 0)
+	}
+	d.rec.EndAt(io, t)
 }
 
 // Submit enqueues a request. It panics on malformed requests — a
@@ -239,7 +290,11 @@ func (d *Disk) startNext() {
 		d.startAttempt(r, 0)
 		return
 	}
-	svc := d.ServiceTime(r, d.rand.Float64())
+	rotFrac := d.rand.Float64()
+	svc := d.ServiceTime(r, rotFrac)
+	if d.rec != nil {
+		d.recordService(r, rotFrac, d.sched.Now(), 0, svc)
+	}
 	d.busyFor += svc
 	d.head = r.Block + r.Blocks
 	d.sched.After(svc, func(now simtime.Time) {
@@ -263,9 +318,13 @@ func (d *Disk) startAttempt(r Request, attempt int) {
 	if until := d.fm.StallUntil(now); until > now {
 		delay = until.Sub(now)
 	}
-	svc := d.ServiceTime(r, d.rand.Float64())
+	rotFrac := d.rand.Float64()
+	svc := d.ServiceTime(r, rotFrac)
 	if f := d.fm.ServiceFactor(now.Add(delay)); f > 1 {
 		svc = simtime.Duration(float64(svc) * f)
+	}
+	if d.rec != nil {
+		d.recordService(r, rotFrac, now, delay, svc)
 	}
 	d.busyFor += svc
 	d.head = r.Block + r.Blocks
@@ -273,7 +332,9 @@ func (d *Disk) startAttempt(r Request, attempt int) {
 		if d.fm != nil && d.fm.AttemptFails(r.Op, r.Block, now, attempt) {
 			if attempt < d.params.MaxRetries {
 				d.retries++
-				d.sched.After(d.params.RetryBackoff<<uint(attempt), func(simtime.Time) {
+				backoff := d.params.RetryBackoff << uint(attempt)
+				d.rec.ChargeSpan(spans.CauseDiskRetry, opLabel(r.Op), now, now.Add(backoff), 0, 1)
+				d.sched.After(backoff, func(simtime.Time) {
 					d.startAttempt(r, attempt+1)
 				})
 				return

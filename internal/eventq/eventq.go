@@ -1,18 +1,3 @@
-// Package eventq implements the discrete-event queue at the heart of the
-// latlab simulator.
-//
-// Events are ordered by (time, sequence number): two events scheduled for
-// the same instant fire in the order they were scheduled, which keeps the
-// whole simulation deterministic. Cancellation is lazy — a cancelled event
-// stays in the heap but is skipped when popped — so cancel is O(1) and the
-// queue never needs to locate arbitrary entries.
-//
-// The queue is allocation-free on the push/pop path: entries are stored
-// by value in a pre-grown 4-ary heap (shallower than a binary heap, so
-// fewer cache lines touched per sift), and cancellation state lives in a
-// recycled ticket slab addressed by Handle rather than in per-event heap
-// allocations. Scheduling a million events costs a handful of slice
-// growths, all amortized away by Grow or steady-state reuse.
 package eventq
 
 import (

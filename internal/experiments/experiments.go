@@ -20,6 +20,7 @@ import (
 	"latlab/internal/machine"
 	"latlab/internal/persona"
 	"latlab/internal/simtime"
+	"latlab/internal/spans"
 	"latlab/internal/system"
 )
 
@@ -34,6 +35,17 @@ type Config struct {
 	// means the paper's Pentium (machine.Pentium100). Experiments that
 	// compare machines (the ext-hw family) ignore it and boot their own.
 	Machine machine.Profile
+	// Trace, when non-nil, attaches a span recorder to every rig the
+	// experiment boots and deposits each rig's span log as a named track
+	// ("persona @ machine") at shutdown. Tracing never perturbs the
+	// simulation; leaving Trace nil keeps the exact untraced code path.
+	Trace *spans.Collector
+	// TraceTag, when set, prefixes every track name this run deposits
+	// ("tag: persona @ machine"). The runner sets it to the spec id so a
+	// suite-wide trace names tracks identically for any job count —
+	// without it, same-named tracks from different experiments would get
+	// completion-order-dependent "#n" suffixes.
+	TraceTag string
 }
 
 // DefaultConfig returns the paper-sized configuration.
@@ -180,7 +192,7 @@ func init() {
 		"fig8", "table1", "fig9", "fig10", "fig11", "table2", "fig12", "s54",
 		"ext-batching", "ext-thinkwait", "ext-metric", "ext-slowcpu", "ext-interrupts",
 		"ext-faults-disk", "ext-faults-irq", "ext-faults-cache",
-		"ext-hw-clock", "ext-hw-l2", "ext-hw-tlb"} {
+		"ext-hw-clock", "ext-hw-l2", "ext-hw-tlb", "ext-attrib"} {
 		paperOrder[id] = i
 	}
 }
@@ -216,24 +228,57 @@ type rig struct {
 	sys *system.System
 	pr  *core.Probe
 	il  *core.IdleLoop
+
+	// rec is the attached span recorder, nil when untraced; col (with
+	// track) is where shutdown deposits the span log.
+	rec   *spans.Recorder
+	col   *spans.Collector
+	track string
 }
 
 // newRig boots persona p on cfg's machine profile with probe and
 // idle-loop instrumentation sized for runSeconds of simulated time.
 func newRig(cfg Config, p persona.P, runSeconds int) *rig {
-	return newRigOn(p, cfg.MachineProfile(), runSeconds)
+	return newRigOn(cfg, p, cfg.MachineProfile(), runSeconds)
 }
 
 // newRigOn boots persona p on an explicit hardware profile; the ext-hw
 // scenario-matrix experiments use it to compare machines side by side.
-func newRigOn(p persona.P, prof machine.Profile, runSeconds int) *rig {
+func newRigOn(cfg Config, p persona.P, prof machine.Profile, runSeconds int) *rig {
 	sys := system.BootOn(p, prof)
 	pr := core.AttachProbe(sys.K)
 	il := core.StartIdleLoop(sys.K, runSeconds*1100+10_000)
-	return &rig{sys: sys, pr: pr, il: il}
+	r := &rig{sys: sys, pr: pr, il: il}
+	if cfg.Trace != nil {
+		r.col = cfg.Trace
+		r.track = p.Name + " @ " + prof.OrDefault().Short
+		if cfg.TraceTag != "" {
+			r.track = cfg.TraceTag + ": " + r.track
+		}
+		r.spansOn()
+	}
+	return r
 }
 
-func (r *rig) shutdown() { r.sys.Shutdown() }
+// spansOn attaches a span recorder to the rig's kernel (pre-grown so
+// steady-state recording stays allocation-free) and returns it; repeat
+// calls return the already-attached recorder.
+func (r *rig) spansOn() *spans.Recorder {
+	if r.rec == nil {
+		rec := spans.NewRecorder(r.sys.K.Now)
+		rec.Grow(1 << 16)
+		r.sys.K.SetRecorder(rec)
+		r.rec = rec
+	}
+	return r.rec
+}
+
+func (r *rig) shutdown() {
+	r.sys.Shutdown()
+	if r.col != nil {
+		r.col.Add(r.track, r.rec.Spans())
+	}
+}
 
 // extract pulls the events of thread from the instrumentation.
 func (r *rig) extract(t *kernel.Thread, strip bool) []core.Event {

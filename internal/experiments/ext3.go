@@ -85,8 +85,10 @@ func runExtInterrupts(ctx context.Context, cfg Config) (Result, error) {
 			"mouse":    p.Kernel.MouseInterrupt,
 			"disk":     p.Kernel.DiskInterrupt,
 		}
-		for name, seg := range handlers {
-			seg := seg
+		// Fixed order (not map order): with tracing on, rig creation
+		// order names the span tracks, and those must not vary run to run.
+		for _, name := range classes[1:] {
+			seg := handlers[name]
 			stolen, _ := stolenOf(func(rk *rigKernel) {
 				// Raise n raw interrupts off the tick grid.
 				for i := 0; i < n; i++ {

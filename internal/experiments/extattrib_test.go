@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"latlab/internal/persona"
+	"latlab/internal/spans"
+)
+
+// TestExtAttrib checks the span-derived reproduction of §5.3: the
+// NT 3.51 − NT 4.0 gap exists, TLB-miss time explains at least the
+// paper's 23% lower bound of it, and the span attribution agrees with
+// the hardware counters cycle for cycle.
+func TestExtAttrib(t *testing.T) {
+	r := mustRun(t, runExtAttrib, quick()).(*ExtAttribResult)
+	renderOK(t, r)
+	if r.GapMs <= 0 {
+		t.Fatalf("NT 3.51 − NT 4.0 gap = %.3fms, want positive", r.GapMs)
+	}
+	if r.TLBSharePct < 23 {
+		t.Fatalf("span-derived TLB share = %.1f%%, below the paper's 23%% lower bound", r.TLBSharePct)
+	}
+	for _, c := range r.Cells {
+		if c.Events == 0 {
+			t.Fatalf("%s: no warm episodes", c.Persona)
+		}
+		if c.SpanTLBCycles == 0 {
+			t.Fatalf("%s: no TLB cycles attributed by spans", c.Persona)
+		}
+		if c.SpanTLBCycles != c.CounterTLBCycles {
+			t.Fatalf("%s: span TLB cycles %d != counter-derived %d",
+				c.Persona, c.SpanTLBCycles, c.CounterTLBCycles)
+		}
+		// The decomposition should account for nearly all of the wall
+		// latency — an attribution table with a large unexplained
+		// remainder would not answer "where did the time go".
+		if c.AttribSum() < 0.8*c.WarmMs {
+			t.Fatalf("%s: attributed %.3fms of %.3fms wall", c.Persona, c.AttribSum(), c.WarmMs)
+		}
+	}
+}
+
+// TestConfigTraceCollectsTracks runs an experiment with Config.Trace set
+// and checks every rig deposited a named span track.
+func TestConfigTraceCollectsTracks(t *testing.T) {
+	col := &spans.Collector{}
+	cfg := quick()
+	cfg.Trace = col
+	mustRun(t, runExtAttrib, cfg)
+	tracks := col.Tracks()
+	if len(tracks) != 2 {
+		t.Fatalf("got %d tracks, want one per NT persona: %+v", len(tracks), tracks)
+	}
+	for _, tr := range tracks {
+		if !strings.Contains(tr.Name, " @ p100") {
+			t.Fatalf("track name %q missing machine suffix", tr.Name)
+		}
+		if len(tr.Spans) == 0 {
+			t.Fatalf("track %q is empty", tr.Name)
+		}
+	}
+	want := persona.NT351().Name + " @ p100"
+	if tracks[0].Name != want && tracks[1].Name != want {
+		t.Fatalf("no track named %q: %v, %v", want, tracks[0].Name, tracks[1].Name)
+	}
+}

@@ -46,8 +46,8 @@ type ExtHWCell struct {
 // than the L2 the handler streams and every reference goes to DRAM on
 // every event — the knob that makes an event compute-bound or
 // memory-bound on a given machine.
-func hwMemCell(p persona.P, prof machine.Profile, keystrokes, perEvent, window int) ExtHWCell {
-	r := newRigOn(p, prof, keystrokes/2+20)
+func hwMemCell(cfg Config, p persona.P, prof machine.Profile, keystrokes, perEvent, window int) ExtHWCell {
+	r := newRigOn(cfg, p, prof, keystrokes/2+20)
 	defer r.shutdown()
 	render := cpu.Segment{
 		Name: "hw-render", BaseCycles: 100_000,
@@ -161,7 +161,7 @@ func runExtHWClock(ctx context.Context, cfg Config) (Result, error) {
 			}
 			// Stream 4000 chunks per event through a window twice the L2:
 			// the redraw's DRAM share cannot be clocked away.
-			res.Cells = append(res.Cells, hwMemCell(p, prof, hwKeystrokes(cfg), 4000, 16384))
+			res.Cells = append(res.Cells, hwMemCell(cfg, p, prof, hwKeystrokes(cfg), 4000, 16384))
 		}
 	}
 	return res, nil
@@ -206,7 +206,7 @@ func runExtHWL2(ctx context.Context, cfg Config) (Result, error) {
 		}
 		// The same 6000 chunks every event: fits the 8192-line L2, so it
 		// misses once and stays warm — unless there is no L2 at all.
-		res.Cells = append(res.Cells, hwMemCell(persona.NT40(), prof, hwKeystrokes(cfg), 6000, 6000))
+		res.Cells = append(res.Cells, hwMemCell(cfg, persona.NT40(), prof, hwKeystrokes(cfg), 6000, 6000))
 	}
 	return res, nil
 }
@@ -242,8 +242,8 @@ type ExtHWTLBResult struct {
 // crossing has flushed the DTLB, so that window refills on every call;
 // NT 4.0 pays one refill per event (the process-switch flush), and a
 // tagged TLB pays none.
-func hwCrossCell(p persona.P, prof machine.Profile, keystrokes, calls int) ExtHWCell {
-	r := newRigOn(p, prof, keystrokes/2+20)
+func hwCrossCell(cfg Config, p persona.P, prof machine.Profile, keystrokes, calls int) ExtHWCell {
+	r := newRigOn(cfg, p, prof, keystrokes/2+20)
 	defer r.shutdown()
 	appData := make([]uint64, 48)
 	for i := range appData {
@@ -332,7 +332,7 @@ func runExtHWTLB(ctx context.Context, cfg Config) (Result, error) {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			res.Cells = append(res.Cells, hwCrossCell(p, prof, keystrokes, calls))
+			res.Cells = append(res.Cells, hwCrossCell(cfg, p, prof, keystrokes, calls))
 		}
 	}
 	nt351, nt40 := persona.NT351().Name, persona.NT40().Name

@@ -64,6 +64,10 @@ func pptTask(p persona.P, cfg Config) *pptRun {
 
 // pptSimulate performs the actual simulated task run behind pptTask.
 func pptSimulate(p persona.P, cfg Config) *pptRun {
+	// The run is shared by fig8/table1/fig12 but simulated once; a fixed
+	// tag keeps its span-track name independent of which spec got here
+	// first (trace export must not depend on pool completion order).
+	cfg.TraceTag = "powerpoint-task"
 	params := apps.DefaultPowerpointParams()
 	pageDownsPerStop := []int{9, 10, 10} // reach slides 10, 20, 30
 	edits := 3

@@ -1,0 +1,28 @@
+// Package faults is the deterministic fault-injection layer of the
+// simulated machine. The paper's thesis is that interactive latency is
+// dominated by rare, adverse conditions — multi-second PowerPoint disk
+// stalls (Table 1), interrupt activity, driver artifacts — not by the
+// common case; this package lets experiments *produce* those conditions
+// on demand while keeping every run byte-reproducible.
+//
+// A fault is a (kind, start, duration, magnitude) record. A Plan is a
+// set of faults derived from a seed alone (Generate), so the complete
+// degradation schedule of a run can be reconstructed — and printed —
+// from the seed without storing anything else. A Clock scopes a plan to
+// one machine: it answers "which fault of kind K is active at time t"
+// and implements disk.FaultModel, and Arm installs the kernel-side
+// injections (interrupt storms, timer jitter, priority inversion, cache
+// pressure) as ordinary simulator events.
+//
+// Invariants:
+//
+//   - Seed-complete. All randomness comes from rng.Source streams
+//     salted from Plan.Seed, drawn in simulator order, which is itself
+//     deterministic; two machines armed with the same plan and workload
+//     produce identical schedules.
+//   - Absent means untouched. A nil or empty plan arms nothing and
+//     leaves the machine on its exact fault-free code path — goldens
+//     recorded without faults stay byte-identical.
+//   - Faults degrade, never corrupt. Injection changes timing (stalls,
+//     retries, stolen cycles), not simulated data or control flow.
+package faults

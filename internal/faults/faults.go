@@ -1,24 +1,3 @@
-// Package faults is the deterministic fault-injection layer of the
-// simulated machine. The paper's thesis is that interactive latency is
-// dominated by rare, adverse conditions — multi-second PowerPoint disk
-// stalls (Table 1), interrupt activity, driver artifacts — not by the
-// common case; this package lets experiments *produce* those conditions
-// on demand while keeping every run byte-reproducible.
-//
-// A fault is a (kind, start, duration, magnitude) record. A Plan is a
-// set of faults derived from a seed alone (Generate), so the complete
-// degradation schedule of a run can be reconstructed — and printed —
-// from the seed without storing anything else. A Clock scopes a plan to
-// one machine: it answers "which fault of kind K is active at time t"
-// and implements disk.FaultModel, and Arm installs the kernel-side
-// injections (interrupt storms, timer jitter, priority inversion, cache
-// pressure) as ordinary simulator events.
-//
-// Determinism contract: all randomness comes from rng.Source streams
-// salted from Plan.Seed, drawn in simulator order, which is itself
-// deterministic; two machines armed with the same plan and workload
-// produce identical schedules. A nil or empty plan arms nothing and
-// leaves the machine on its exact fault-free code path.
 package faults
 
 import (

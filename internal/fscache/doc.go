@@ -1,0 +1,21 @@
+// Package fscache implements the file-system buffer cache sitting
+// between the simulated applications and the disk.
+//
+// The cache is what produces the warm/cold asymmetries the paper leans
+// on: the first OLE edit session pages the object server in from disk
+// (seconds), while "more of the pages ... become resident in the buffer
+// cache" for the second and third edits (Table 1). Pages are 4 KB
+// (eight 512-byte disk blocks), managed LRU, write-through.
+//
+// Invariants:
+//
+//   - Deterministic residency. Hit/miss behaviour is a pure function of
+//     the access sequence; there is no sampling or clock-driven aging,
+//     so the same workload always warms the same pages.
+//   - Misses cost disk time, hits cost nothing. The cache adds no
+//     latency of its own; every millisecond it contributes to an event
+//     is a disk request it issued (observable as disk spans/counters).
+//   - Tracing is optional and inert. With a span recorder attached the
+//     cache emits fs-hit/fs-miss/fs-write/fs-evict charges; without one
+//     it runs the exact pre-span code path.
+package fscache

@@ -1,11 +1,3 @@
-// Package fscache implements the file-system buffer cache sitting between
-// the simulated applications and the disk.
-//
-// The cache is what produces the warm/cold asymmetries the paper leans
-// on: the first OLE edit session pages the object server in from disk
-// (seconds), while "more of the pages ... become resident in the buffer
-// cache" for the second and third edits (Table 1). Pages are 4 KB (eight
-// 512-byte disk blocks), managed LRU, write-through.
 package fscache
 
 import (
@@ -14,6 +6,7 @@ import (
 	"latlab/internal/disk"
 	"latlab/internal/mem"
 	"latlab/internal/simtime"
+	"latlab/internal/spans"
 )
 
 // PageBlocks is the number of 512-byte disk blocks per cache page (4 KB).
@@ -41,7 +34,12 @@ type Cache struct {
 	writes    int64
 	evictions int64
 	ioErrs    int64
+
+	rec *spans.Recorder
 }
+
+// SetRecorder attaches a span recorder; nil restores the untraced path.
+func (c *Cache) SetRecorder(rec *spans.Recorder) { c.rec = rec }
 
 // New creates a cache of capacityPages pages over d.
 func New(d *disk.Disk, capacityPages int) *Cache {
@@ -79,10 +77,13 @@ func (c *Cache) FilePages(id FileID) int64 {
 	return 0
 }
 
-// Hits and Misses report page-level cache statistics; Writes counts pages
-// written through.
-func (c *Cache) Hits() int64   { return c.hits }
+// Hits reports page-level cache hits.
+func (c *Cache) Hits() int64 { return c.hits }
+
+// Misses reports page-level cache misses.
 func (c *Cache) Misses() int64 { return c.misses }
+
+// Writes counts pages written through.
 func (c *Cache) Writes() int64 { return c.writes }
 
 // ForcedEvictions counts pages evicted through EvictOldest (fault-layer
@@ -150,6 +151,14 @@ func (c *Cache) Read(id FileID, firstPage, nPages int64, done func(now simtime.T
 		}
 	}
 	missing = int64(len(missPages))
+	if c.rec != nil {
+		if hits := nPages - missing; hits > 0 {
+			c.rec.Charge(spans.CauseFSHit, f.name, 0, hits)
+		}
+		if missing > 0 {
+			c.rec.Charge(spans.CauseFSMiss, f.name, 0, missing)
+		}
+	}
 	if missing == 0 {
 		done(0, nil) // caller context; "now" unused for synchronous hits
 		return 0
@@ -208,6 +217,7 @@ func (c *Cache) Write(id FileID, firstPage, nPages int64, done func(now simtime.
 		c.lru.Insert(pageKey(id, p))
 	}
 	c.writes += nPages
+	c.rec.Charge(spans.CauseFSWrite, f.name, 0, nPages)
 	c.disk.Submit(disk.Request{
 		Op:     disk.Write,
 		Block:  f.startBlock + firstPage*PageBlocks,
@@ -231,5 +241,8 @@ func (c *Cache) EvictAll() { c.lru.Flush() }
 func (c *Cache) EvictOldest(n int) int {
 	evicted := c.lru.EvictOldest(n)
 	c.evictions += int64(evicted)
+	if evicted > 0 {
+		c.rec.Charge(spans.CauseFSEvict, "pressure", 0, int64(evicted))
+	}
 	return evicted
 }

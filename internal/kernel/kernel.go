@@ -26,6 +26,7 @@ import (
 	"latlab/internal/fscache"
 	"latlab/internal/machine"
 	"latlab/internal/simtime"
+	"latlab/internal/spans"
 	"latlab/internal/trace"
 )
 
@@ -165,6 +166,15 @@ type Kernel struct {
 
 	clockTicks int64
 	shutdown   bool
+
+	// rec, when non-nil, receives cause-tagged spans from every charge
+	// point in the kernel and its machine. episode/epThread/epOpen track
+	// the one interactive episode open at a time: from a user-input
+	// message's enqueue to the handling thread's next message-API call.
+	rec      *spans.Recorder
+	episode  spans.Handle
+	epThread int
+	epOpen   bool
 }
 
 // New builds a kernel (and its machine: CPU, disk, buffer cache) from
@@ -205,6 +215,21 @@ func (k *Kernel) Machine() machine.Profile { return k.cfg.Machine }
 
 // SetHooks installs observation hooks; call before Run.
 func (k *Kernel) SetHooks(h Hooks) { k.hooks = h }
+
+// SetRecorder attaches a span recorder to the kernel and its whole
+// machine (CPU, memory system, disk, buffer cache), so every charge
+// point emits a cause-tagged span. A nil recorder restores the exact
+// untraced code path everywhere. Recording never perturbs the
+// simulation: schedules are byte-identical with and without it.
+func (k *Kernel) SetRecorder(rec *spans.Recorder) {
+	k.rec = rec
+	k.cpu.SetRecorder(rec, func() simtime.Time { return k.now })
+	k.disk.SetRecorder(rec)
+	k.cache.SetRecorder(rec)
+}
+
+// Recorder returns the attached span recorder, nil when tracing is off.
+func (k *Kernel) Recorder() *spans.Recorder { return k.rec }
 
 // Now returns the current simulated time.
 func (k *Kernel) Now() simtime.Time { return k.now }
@@ -365,6 +390,10 @@ func (k *Kernel) Shutdown() {
 		return
 	}
 	k.shutdown = true
+	if k.epOpen {
+		k.rec.EndAt(k.episode, k.now)
+		k.epOpen = false
+	}
 	for _, t := range k.threads {
 		if t.state == StateDone {
 			continue
@@ -403,6 +432,10 @@ func (k *Kernel) scheduleClock() {
 // and actions — the handler's visible effects, such as posting an input
 // message — run at handler completion.
 func (k *Kernel) RaiseInterrupt(handler cpu.Segment, actions func(now simtime.Time)) {
+	var ih spans.Handle
+	if k.rec != nil {
+		ih = k.rec.Begin(spans.CauseInterrupt, handler.Name)
+	}
 	cycles, d := k.cpu.Execute(handler)
 	_ = cycles
 	k.cpu.Add(cpu.Interrupts, 1)
@@ -414,6 +447,7 @@ func (k *Kernel) RaiseInterrupt(handler cpu.Segment, actions func(now simtime.Ti
 	}
 	k.stolenUntil = start.Add(d)
 	end := k.stolenUntil
+	k.rec.EndAt(ih, end)
 	if actions == nil {
 		k.q.Schedule(end, k.reconcileFn)
 	} else {
@@ -493,6 +527,9 @@ func (k *Kernel) makeReady(t *Thread) {
 	t.state = StateReady
 	t.readySeq = k.seq
 	k.seq++
+	if k.rec != nil {
+		t.readyAt = k.now
+	}
 	k.ready = append(k.ready, t)
 }
 

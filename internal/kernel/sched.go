@@ -5,6 +5,7 @@ import (
 
 	"latlab/internal/eventq"
 	"latlab/internal/simtime"
+	"latlab/internal/spans"
 	"latlab/internal/trace"
 )
 
@@ -49,6 +50,9 @@ func (k *Kernel) reconcile() {
 			if t == nil {
 				break // nothing runnable at all
 			}
+			if k.rec != nil && t.prio > IdlePriority && t.readyAt != 0 && k.now.After(t.readyAt) {
+				k.rec.ChargeSpan(spans.CauseSchedDelay, t.name, t.readyAt, k.now, 0, 0)
+			}
 			t.state = StateRunning
 			t.quantumLeft = k.cfg.Quantum
 			k.current = t
@@ -77,14 +81,20 @@ func (k *Kernel) reconcile() {
 // was requeued behind an equal-priority peer.
 func (k *Kernel) startChunk(t *Thread) bool {
 	if t != k.lastRun {
+		var ch spans.Handle
+		if k.rec != nil {
+			ch = k.rec.Begin(spans.CauseCtxSwitch, t.name)
+		}
 		if k.cfg.FlushOnProcessSwitch && k.lastRun != nil && k.lastRun.proc != t.proc {
 			k.cpu.Mem.FlushTLBs()
 		}
 		k.lastRun = t
 		if _, d := k.cpu.Execute(k.cfg.ContextSwitch); d > 0 {
 			k.steal(d)
+			k.rec.EndAt(ch, k.stolenUntil)
 			return false
 		}
+		k.rec.End(ch)
 	}
 	if t.quantumLeft <= 0 {
 		if k.hasReadyAtPrio(t.prio) {
@@ -267,6 +277,9 @@ func (k *Kernel) process(t *Thread) {
 		if !r.started {
 			r.started = true
 			if d := k.cpu.Freq.DurationOf(k.cfg.ModeSwitchCycles); d > 0 {
+				if k.rec != nil {
+					k.rec.ChargeSpan(spans.CauseModeSwitch, t.name, k.now, k.now.Add(d), k.cfg.ModeSwitchCycles, 1)
+				}
 				t.remaining = d
 				return
 			}
@@ -349,6 +362,11 @@ func (k *Kernel) process(t *Thread) {
 		if !r.started {
 			r.started = true
 			t.ioReady = false
+			if k.rec != nil {
+				// The span opens before the cache lookup so hit/miss and
+				// disk spans nest inside the syscall.
+				t.ioSpan = k.rec.Begin(spans.CauseSyscall, "ReadFile")
+			}
 			inline := true
 			missing := k.cache.Read(r.file, r.page, r.pages, func(now simtime.Time, err error) {
 				if err != nil {
@@ -365,6 +383,8 @@ func (k *Kernel) process(t *Thread) {
 			})
 			inline = false
 			if missing == 0 {
+				k.rec.End(t.ioSpan)
+				t.ioSpan = spans.Handle{}
 				t.pending = nil
 				return
 			}
@@ -379,12 +399,17 @@ func (k *Kernel) process(t *Thread) {
 			k.current = nil
 			return
 		}
+		k.rec.End(t.ioSpan)
+		t.ioSpan = spans.Handle{}
 		t.pending = nil
 
 	case reqWriteFile:
 		if !r.started {
 			r.started = true
 			t.ioReady = false
+			if k.rec != nil {
+				t.ioSpan = k.rec.Begin(spans.CauseSyscall, "WriteFile")
+			}
 			k.cache.Write(r.file, r.page, r.pages, func(now simtime.Time, err error) {
 				if err != nil {
 					k.ioErrs++
@@ -405,6 +430,8 @@ func (k *Kernel) process(t *Thread) {
 			k.current = nil
 			return
 		}
+		k.rec.End(t.ioSpan)
+		t.ioSpan = spans.Handle{}
 		t.pending = nil
 
 	case reqYield:
@@ -415,6 +442,10 @@ func (k *Kernel) process(t *Thread) {
 		}
 
 	case reqExit:
+		if k.epOpen && k.epThread == t.id {
+			k.rec.EndAt(k.episode, k.now)
+			k.epOpen = false
+		}
 		t.pending = nil
 		t.state = StateDone
 		k.current = nil
@@ -425,8 +456,33 @@ func (k *Kernel) process(t *Thread) {
 }
 
 func (k *Kernel) logMsgAPI(rec trace.MsgRecord) {
+	if k.rec != nil {
+		k.noteMsgAPI(rec)
+	}
 	if k.hooks.OnMsgAPI != nil {
 		k.hooks.OnMsgAPI(rec)
+	}
+}
+
+// noteMsgAPI maintains the episode span across message-API activity: an
+// episode runs from a user-input message's hardware enqueue to the
+// handling thread's next message-API call — the instant the application
+// "prepared to accept a new event" (paper §2.4). Episodes never nest;
+// retrieving fresh user input while one is open closes it.
+func (k *Kernel) noteMsgAPI(r trace.MsgRecord) {
+	input := r.Received && MsgKind(r.Kind).UserInput()
+	if k.epOpen && (r.Thread == k.epThread || input) {
+		k.rec.EndAt(k.episode, k.now)
+		k.epOpen = false
+	}
+	if input {
+		label := MsgKind(r.Kind).String()
+		k.episode = k.rec.BeginAt(spans.CauseEpisode, label, r.Enqueued)
+		// The wait between hardware enqueue and retrieval is the latency
+		// component Fig. 1's API-only measurement misses.
+		k.rec.ChargeSpan(spans.CauseQueueWait, label, r.Enqueued, k.now, 0, 0)
+		k.epThread = r.Thread
+		k.epOpen = true
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"latlab/internal/cpu"
 	"latlab/internal/fscache"
 	"latlab/internal/simtime"
+	"latlab/internal/spans"
 )
 
 // ProcID identifies an address space. Switching the CPU between threads
@@ -139,6 +140,11 @@ type Thread struct {
 
 	// ioReady flags completion of the pending synchronous I/O.
 	ioReady bool
+	// ioSpan is the open syscall span of the pending synchronous I/O.
+	ioSpan spans.Handle
+	// readyAt is when the thread last entered the ready queue; only
+	// maintained while a span recorder is attached (scheduling delay).
+	readyAt simtime.Time
 
 	// Reply slots, valid after the corresponding request completes.
 	replyMsg Msg

@@ -9,7 +9,10 @@
 // respond correctly to working-set size, reuse, and flushes.
 package mem
 
-import "latlab/internal/machine"
+import (
+	"latlab/internal/machine"
+	"latlab/internal/spans"
+)
 
 // LRU is a fixed-capacity LRU set of 64-bit identifiers. Touch reports
 // hit or miss and makes the identifier most-recently-used, evicting the
@@ -171,7 +174,11 @@ type System struct {
 	Cache *LRU
 
 	tagged bool
+	rec    *spans.Recorder
 }
+
+// SetRecorder attaches a span recorder; nil restores the untraced path.
+func (s *System) SetRecorder(rec *spans.Recorder) { s.rec = rec }
 
 // Config sets the capacities of a System. CacheLines <= 0 means no L2:
 // the System is built without a cache and every chunk reference pays
@@ -225,6 +232,11 @@ func (s *System) Tagged() bool { return s.tagged }
 func (s *System) FlushTLBs() {
 	if s.tagged {
 		return
+	}
+	if s.rec != nil {
+		// Count records the mappings discarded — the future TLB misses
+		// this flush manufactures.
+		s.rec.Charge(spans.CauseTLBFlush, "flush", 0, int64(s.ITLB.Len()+s.DTLB.Len()))
 	}
 	s.ITLB.Flush()
 	s.DTLB.Flush()

@@ -1,0 +1,20 @@
+// Package rng provides the deterministic pseudo-random number
+// generator used by latlab's stochastic models (typist pacing, disk
+// geometry jitter, cost dispersion).
+//
+// It implements SplitMix64, a tiny, well-tested 64-bit generator whose
+// output is stable across Go releases — unlike math/rand's unexported
+// algorithms, whose sequences latlab must not depend on because every
+// experiment is expected to be bit-reproducible from its seed.
+//
+// Invariants:
+//
+//   - Stable sequences. A Source seeded with the same value yields the
+//     same stream on every platform and Go version; goldens depend on
+//     this.
+//   - Stream independence. Deriving salted child sources (per model,
+//     per machine) decorrelates consumers, so adding a draw in one
+//     model never shifts another model's sequence.
+//   - No global state. Every consumer owns its Source; there is no
+//     package-level generator to race on or to seed twice.
+package rng

@@ -1,11 +1,3 @@
-// Package rng provides the deterministic pseudo-random number generator
-// used by latlab's stochastic models (typist pacing, disk geometry jitter,
-// cost dispersion).
-//
-// It implements SplitMix64, a tiny, well-tested 64-bit generator whose
-// output is stable across Go releases — unlike math/rand's unexported
-// algorithms, whose sequences latlab must not depend on because every
-// experiment is expected to be bit-reproducible from its seed.
 package rng
 
 import "math"

@@ -274,6 +274,9 @@ func runOne(ctx context.Context, s experiments.Spec, opt Options) Outcome {
 	for attempt := 0; ; attempt++ {
 		cfg := opt.Config
 		cfg.Seed = PerturbSeed(opt.Config.Seed, attempt)
+		// Scope span-track names to the spec so a shared collector names
+		// tracks identically whatever the completion order of the pool.
+		cfg.TraceTag = s.ID
 		rec.Attempts = attempt + 1
 		rec.AttemptSeeds = append(rec.AttemptSeeds, cfg.Seed)
 

@@ -1,0 +1,21 @@
+// Package simtime provides the simulated time base used throughout
+// latlab.
+//
+// Simulated time is a count of nanoseconds since machine boot. It is
+// unrelated to wall-clock time: the discrete-event simulator advances
+// it explicitly. A separate Duration type mirrors time.Duration
+// semantics but keeps simulated and host time from being mixed
+// accidentally.
+//
+// Invariants:
+//
+//   - Integer nanoseconds. Time and Duration are int64 counts; all
+//     arithmetic is exact, so replaying a schedule reproduces it bit
+//     for bit (floats appear only at presentation boundaries such as
+//     Milliseconds).
+//   - Monotonic by construction. Nothing in this package reads a host
+//     clock; simulated time moves only when the simulator moves it.
+//   - Cycle accounting is lossless. Hz.DurationOf and CycleAt round
+//     deterministically, so converting cycles to time and back never
+//     depends on platform floating-point behaviour.
+package simtime

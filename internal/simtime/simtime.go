@@ -1,9 +1,3 @@
-// Package simtime provides the simulated time base used throughout latlab.
-//
-// Simulated time is a count of nanoseconds since machine boot. It is
-// unrelated to wall-clock time: the discrete-event simulator advances it
-// explicitly. A separate Duration type mirrors time.Duration semantics but
-// keeps simulated and host time from being mixed accidentally.
 package simtime
 
 import (

@@ -1,0 +1,104 @@
+package spans
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// WriteChrome writes tracks in the Chrome trace-event JSON format, one
+// trace process per track, loadable in Perfetto (ui.perfetto.dev) and
+// chrome://tracing. Spans with duration become complete ("X") events;
+// instantaneous charges (flushes, cache hits) become instant ("i")
+// events. Timestamps are microseconds of simulated time since boot.
+//
+// The encoding is hand-rolled rather than reflected so that output is
+// deterministic field-for-field and export of large traces does not
+// build an intermediate object per span.
+func WriteChrome(w io.Writer, tracks []Track) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	first := true
+	comma := func() {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+	}
+	for pi, tr := range tracks {
+		pid := pi + 1
+		comma()
+		bw.WriteString(`{"name":"process_name","ph":"M","pid":`)
+		bw.WriteString(strconv.Itoa(pid))
+		bw.WriteString(`,"tid":0,"args":{"name":`)
+		writeJSONString(bw, tr.Name)
+		bw.WriteString(`}}`)
+		for _, s := range tr.Spans {
+			comma()
+			writeEvent(bw, pid, s)
+		}
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
+// writeEvent emits one trace event for span s under pid.
+func writeEvent(bw *bufio.Writer, pid int, s Span) {
+	name := s.Label
+	if name == "" {
+		name = s.Cause.String()
+	}
+	bw.WriteString(`{"name":`)
+	writeJSONString(bw, name)
+	bw.WriteString(`,"cat":"`)
+	bw.WriteString(s.Cause.String()) // cause names are JSON-safe literals
+	bw.WriteString(`","ph":"`)
+	if s.End > s.Start {
+		bw.WriteString(`X","ts":`)
+		writeMicros(bw, int64(s.Start))
+		bw.WriteString(`,"dur":`)
+		writeMicros(bw, int64(s.Duration()))
+	} else {
+		bw.WriteString(`i","s":"t","ts":`)
+		writeMicros(bw, int64(s.Start))
+	}
+	bw.WriteString(`,"pid":`)
+	bw.WriteString(strconv.Itoa(pid))
+	bw.WriteString(`,"tid":0,"args":{"cycles":`)
+	bw.WriteString(strconv.FormatInt(s.Cycles, 10))
+	bw.WriteString(`,"count":`)
+	bw.WriteString(strconv.FormatInt(s.Count, 10))
+	bw.WriteString(`}}`)
+}
+
+// writeMicros writes a nanosecond quantity as decimal microseconds with
+// nanosecond precision (e.g. 1500 ns -> "1.5").
+func writeMicros(bw *bufio.Writer, ns int64) {
+	bw.WriteString(strconv.FormatInt(ns/1000, 10))
+	if frac := ns % 1000; frac != 0 {
+		digits := strconv.FormatInt(frac+1000, 10)[1:] // zero-padded to 3
+		digits = trimZeros(digits)
+		bw.WriteByte('.')
+		bw.WriteString(digits)
+	}
+}
+
+// trimZeros drops trailing zeros of a fraction string.
+func trimZeros(s string) string {
+	i := len(s)
+	for i > 0 && s[i-1] == '0' {
+		i--
+	}
+	return s[:i]
+}
+
+// writeJSONString writes s as a JSON string literal.
+func writeJSONString(bw *bufio.Writer, s string) {
+	b, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string
+		bw.WriteString(`""`)
+		return
+	}
+	bw.Write(b)
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"latlab/internal/simtime"
+)
+
+// AttribRecord is the per-event "where did the time go" record: one
+// interactive episode (user action to the application's next readiness
+// for input) with its wall time decomposed by cause. Causes carries
+// attributed nanoseconds per cause name (the spans package's stable
+// cause vocabulary); the names are opaque here so trace stays at the
+// bottom of the dependency graph.
+type AttribRecord struct {
+	// Label names the episode (the input-message kind, e.g. WM_KEYDOWN).
+	Label string
+	// Start is the hardware enqueue; End is the handling thread's next
+	// message-API call.
+	Start, End simtime.Time
+	// Causes maps cause name to attributed duration.
+	Causes map[string]simtime.Duration
+}
+
+// Latency returns the episode's wall latency.
+func (r AttribRecord) Latency() simtime.Duration { return r.End.Sub(r.Start) }
+
+// attribHeader is the header row of the attribution CSV format.
+const attribHeader = "label,start_ms,end_ms,causes"
+
+// WriteAttribCSV writes records as CSV with a header row:
+// label,start_ms,end_ms,causes. The causes column is a semicolon-joined
+// list of name=nanoseconds pairs sorted by name, so output is
+// deterministic regardless of map iteration order. Labels must not
+// contain commas or newlines; cause names must not contain ',', ';',
+// '=' or newlines.
+func WriteAttribCSV(w io.Writer, recs []AttribRecord) error {
+	if _, err := io.WriteString(w, attribHeader+"\n"); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 256)
+	var names []string
+	for _, r := range recs {
+		if strings.ContainsAny(r.Label, ",\n") {
+			return fmt.Errorf("trace: attribution label %q contains a reserved character", r.Label)
+		}
+		names = names[:0]
+		for name := range r.Causes {
+			if strings.ContainsAny(name, ",;=\n") {
+				return fmt.Errorf("trace: cause name %q contains a reserved character", name)
+			}
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		buf = buf[:0]
+		buf = append(buf, r.Label...)
+		buf = append(buf, ',')
+		buf = appendMs(buf, r.Start.Milliseconds())
+		buf = append(buf, ',')
+		buf = appendMs(buf, r.End.Milliseconds())
+		buf = append(buf, ',')
+		for i, name := range names {
+			if i > 0 {
+				buf = append(buf, ';')
+			}
+			buf = append(buf, name...)
+			buf = append(buf, '=')
+			buf = strconv.AppendInt(buf, int64(r.Causes[name]), 10)
+		}
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseAttribCSV parses the format written by WriteAttribCSV. A row with
+// an empty causes column yields a nil Causes map; duplicate cause names
+// within a row are an error.
+func ParseAttribCSV(r io.Reader) ([]AttribRecord, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != attribHeader {
+		return nil, fmt.Errorf("trace: missing attribution CSV header")
+	}
+	var out []AttribRecord
+	for i, line := range lines[1:] {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", i+2, len(fields))
+		}
+		rec := AttribRecord{Label: fields[0]}
+		startMs, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: start_ms: %w", i+2, err)
+		}
+		endMs, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: end_ms: %w", i+2, err)
+		}
+		rec.Start = simtime.Time(simtime.FromMillis(startMs))
+		rec.End = simtime.Time(simtime.FromMillis(endMs))
+		if fields[3] != "" {
+			rec.Causes = make(map[string]simtime.Duration)
+			for _, pair := range strings.Split(fields[3], ";") {
+				name, val, ok := strings.Cut(pair, "=")
+				if !ok || name == "" {
+					return nil, fmt.Errorf("trace: line %d: malformed cause pair %q", i+2, pair)
+				}
+				if _, dup := rec.Causes[name]; dup {
+					return nil, fmt.Errorf("trace: line %d: duplicate cause %q", i+2, name)
+				}
+				ns, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("trace: line %d: cause %q: %w", i+2, name, err)
+				}
+				rec.Causes[name] = simtime.Duration(ns)
+			}
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"latlab/internal/simtime"
+)
+
+func TestAttribCSVRoundTrip(t *testing.T) {
+	recs := []AttribRecord{
+		{
+			Label: "WM_KEYDOWN",
+			Start: simtime.Time(20 * simtime.Millisecond),
+			End:   simtime.Time(25*simtime.Millisecond + 400*simtime.Microsecond),
+			Causes: map[string]simtime.Duration{
+				"base":       3 * simtime.Millisecond,
+				"tlb-miss":   800 * simtime.Microsecond,
+				"queue-wait": 1200 * simtime.Microsecond,
+			},
+		},
+		{Label: "WM_CHAR", Start: 0, End: simtime.Time(simtime.Millisecond)},
+	}
+	var sb strings.Builder
+	if err := WriteAttribCSV(&sb, recs); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "label,start_ms,end_ms,causes\n") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	// Causes are sorted by name for deterministic output.
+	if !strings.Contains(out, "base=3000000;queue-wait=1200000;tlb-miss=800000") {
+		t.Fatalf("causes column not sorted name=ns:\n%s", out)
+	}
+	got, err := ParseAttribCSV(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("round trip changed data:\n%#v\n%#v", got, recs)
+	}
+	if got[0].Latency() != recs[0].End.Sub(recs[0].Start) {
+		t.Fatalf("latency = %v", got[0].Latency())
+	}
+}
+
+func TestAttribCSVRejectsReservedChars(t *testing.T) {
+	var sb strings.Builder
+	err := WriteAttribCSV(&sb, []AttribRecord{{Label: "a,b"}})
+	if err == nil {
+		t.Fatal("comma in label accepted")
+	}
+	err = WriteAttribCSV(&sb, []AttribRecord{{
+		Label:  "ok",
+		Causes: map[string]simtime.Duration{"a=b": 1},
+	}})
+	if err == nil {
+		t.Fatal("'=' in cause name accepted")
+	}
+}
+
+func TestParseAttribCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong header\n",
+		"label,start_ms,end_ms,causes\nonly,three,fields\n",
+		"label,start_ms,end_ms,causes\nx,notanumber,1.0,\n",
+		"label,start_ms,end_ms,causes\nx,1.0,notanumber,\n",
+		"label,start_ms,end_ms,causes\nx,1.0,2.0,noequals\n",
+		"label,start_ms,end_ms,causes\nx,1.0,2.0,a=1;a=2\n",
+		"label,start_ms,end_ms,causes\nx,1.0,2.0,a=notanumber\n",
+	}
+	for _, in := range cases {
+		if _, err := ParseAttribCSV(strings.NewReader(in)); err == nil {
+			t.Fatalf("accepted malformed input %q", in)
+		}
+	}
+}
+
+// The attribution CSV writer must stay allocation-free per row, like the
+// other trace writers (its rows land in the verify alloc budget).
+func TestWriteAttribCSVAllocs(t *testing.T) {
+	recs := []AttribRecord{{
+		Label: "WM_KEYDOWN",
+		Start: simtime.Time(simtime.Millisecond),
+		End:   simtime.Time(2 * simtime.Millisecond),
+		Causes: map[string]simtime.Duration{
+			"base": simtime.Millisecond, "tlb-miss": 100, "ctx-switch": 50,
+		},
+	}}
+	var sink nopWriter
+	if avg := testing.AllocsPerRun(100, func() {
+		if err := WriteAttribCSV(sink, recs); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 6 { // header string, row buffer, names slice + sort overhead
+		t.Fatalf("WriteAttribCSV allocates %.1f per call", avg)
+	}
+}
+
+type nopWriter struct{}
+
+func (nopWriter) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,112 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"latlab/internal/simtime"
+	"latlab/internal/trace"
+)
+
+// AttribTable renders attribution records — one interactive episode per
+// row, its wall time decomposed by cause — as the "where did the time
+// go" report: a per-cause roll-up over every episode, then each episode
+// with its dominant causes. Output is deterministic: causes sort by
+// total attributed time (descending, name as tiebreak) and episodes
+// keep their input order.
+func AttribTable(w io.Writer, title string, recs []trace.AttribRecord) error {
+	var wall, attributed simtime.Duration
+	totals := map[string]simtime.Duration{}
+	for _, r := range recs {
+		wall += r.Latency()
+		for name, d := range r.Causes {
+			totals[name] += d
+			attributed += d
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s — where did the time go? %d episodes, %.2fms wall\n\n",
+		title, len(recs), wall.Milliseconds()); err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		_, err := fmt.Fprintln(w, "  (no episodes)")
+		return err
+	}
+
+	names := make([]string, 0, len(totals))
+	for name := range totals {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if totals[names[i]] != totals[names[j]] {
+			return totals[names[i]] > totals[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	if _, err := fmt.Fprintf(w, "  %-16s %10s %7s\n", "cause", "total", "share"); err != nil {
+		return err
+	}
+	row := func(name string, d simtime.Duration) error {
+		_, err := fmt.Fprintf(w, "  %-16s %8.2fms %6.1f%%\n", name, d.Milliseconds(), pctOf(d, wall))
+		return err
+	}
+	for _, name := range names {
+		if err := row(name, totals[name]); err != nil {
+			return err
+		}
+	}
+	if rem := wall - attributed; rem > 0 {
+		if err := row("(unattributed)", rem); err != nil {
+			return err
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "\n  %-42s %10s %9s  %s\n", "episode", "start", "wall", "top causes"); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if _, err := fmt.Fprintf(w, "  %-42s %8.2fms %7.2fms  %s\n",
+			r.Label, r.Start.Milliseconds(), r.Latency().Milliseconds(), topCauses(r, 3)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pctOf returns d as a percentage of total (0 when total is zero).
+func pctOf(d, total simtime.Duration) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return 100 * float64(d) / float64(total)
+}
+
+// topCauses summarizes an episode's n largest causes as
+// "name share%, ..." (ties broken by name for determinism).
+func topCauses(r trace.AttribRecord, n int) string {
+	names := make([]string, 0, len(r.Causes))
+	for name := range r.Causes {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if r.Causes[names[i]] != r.Causes[names[j]] {
+			return r.Causes[names[i]] > r.Causes[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	if len(names) > n {
+		names = names[:n]
+	}
+	out := ""
+	for i, name := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%s %.0f%%", name, pctOf(r.Causes[name], r.Latency()))
+	}
+	if out == "" {
+		return "(none)"
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"latlab/internal/simtime"
+	"latlab/internal/trace"
+)
+
+// countWriter counts Write calls, sizing the failure sweep below.
+type countWriter struct{ writes int }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.writes++
+	return len(p), nil
+}
+
+func attribRecs() []trace.AttribRecord {
+	return []trace.AttribRecord{
+		{
+			Label: "NT 3.51: WM_KEYDOWN",
+			Start: simtime.Time(500 * simtime.Millisecond),
+			End:   simtime.Time(501 * simtime.Millisecond),
+			Causes: map[string]simtime.Duration{
+				"base":     700 * simtime.Microsecond,
+				"tlb-miss": 200 * simtime.Microsecond,
+			},
+		},
+		{
+			Label: "NT 4.0: WM_KEYDOWN",
+			Start: simtime.Time(502 * simtime.Millisecond),
+			End:   simtime.Time(503 * simtime.Millisecond),
+			Causes: map[string]simtime.Duration{
+				"base": 900 * simtime.Microsecond,
+			},
+		},
+	}
+}
+
+func TestAttribTable(t *testing.T) {
+	var sb strings.Builder
+	if err := AttribTable(&sb, "run", attribRecs()); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.Contains(got, "where did the time go? 2 episodes, 2.00ms wall") {
+		t.Fatalf("header wrong:\n%s", got)
+	}
+	// base (1.6ms) sorts above tlb-miss (0.2ms); the 0.2ms nobody
+	// attributed shows up as the remainder row.
+	base := strings.Index(got, "base")
+	tlb := strings.Index(got, "tlb-miss")
+	if base < 0 || tlb < 0 || base > tlb {
+		t.Fatalf("causes not sorted by total:\n%s", got)
+	}
+	if !strings.Contains(got, "(unattributed)") {
+		t.Fatalf("missing unattributed remainder:\n%s", got)
+	}
+	if !strings.Contains(got, "80.0%") { // base share: 1.6 of 2.0ms
+		t.Fatalf("share arithmetic wrong:\n%s", got)
+	}
+	if !strings.Contains(got, "NT 3.51: WM_KEYDOWN") || !strings.Contains(got, "base 70%, tlb-miss 20%") {
+		t.Fatalf("episode row wrong:\n%s", got)
+	}
+}
+
+func TestAttribTableEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := AttribTable(&sb, "empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "(no episodes)") {
+		t.Fatalf("empty rendering wrong:\n%s", sb.String())
+	}
+}
+
+// TestAttribTablePropagatesWriteErrors fails the writer at every write
+// index in turn; AttribTable must surface the error each time.
+func TestAttribTablePropagatesWriteErrors(t *testing.T) {
+	recs := attribRecs()
+	cw := &countWriter{}
+	if err := AttribTable(cw, "t", recs); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < cw.writes; n++ {
+		if err := AttribTable(&failWriter{n: n}, "t", recs); err == nil {
+			t.Fatalf("write failure at %d not propagated", n)
+		}
+	}
+}

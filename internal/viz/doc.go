@@ -1,0 +1,20 @@
+// Package viz renders latlab's measurements as text: the same graph
+// types the paper uses — CPU-utilization profiles (Figs. 3-4), raw
+// event-latency time series with an irritation threshold line (Figs. 5
+// and 12), log-count latency histograms and cumulative-latency curves
+// (Figs. 7, 8, 11), grouped counter bars (Figs. 9-10), and the
+// span-derived "where did the time go" attribution table — plus CSV and
+// SVG export for external plotting.
+//
+// Invariants:
+//
+//   - Deterministic output. Every renderer produces byte-identical
+//     output for the same input: map-ordered data is sorted before
+//     printing and no renderer reads clocks or global state. The golden
+//     corpus under cmd/latbench depends on this.
+//   - Errors propagate. Renderers return the first write error instead
+//     of swallowing it, so a failed export never passes silently.
+//   - Presentation only. Renderers never mutate or re-derive the
+//     measurements they are handed; all analysis lives in core, stats,
+//     and spans.
+package viz

@@ -1,9 +1,3 @@
-// Package viz renders latlab's measurements as text: the same graph
-// types the paper uses — CPU-utilization profiles (Figs. 3-4), raw
-// event-latency time series with an irritation threshold line (Figs. 5
-// and 12), log-count latency histograms and cumulative-latency curves
-// (Figs. 7, 8, 11), and grouped counter bars (Figs. 9-10) — plus CSV
-// export for external plotting.
 package viz
 
 import (

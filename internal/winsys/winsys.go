@@ -1,20 +1,3 @@
-// Package winsys models the window-system / Win32 API layer the
-// applications call through. Every operation funnels through one of three
-// architectural paths selected by the persona:
-//
-//   - ServerProcess (NT 3.51): domain crossing → server segment → domain
-//     crossing back. Each crossing flushes the TLBs, so the server's and
-//     the application's working sets are refilled on every call — the
-//     mechanism behind the paper's Fig. 9/10 TLB-miss gap.
-//   - KernelMode (NT 4.0): mode switch → kernel segment; no flush.
-//   - Shared16Bit (Windows 95): mode switch → 16-bit segment carrying
-//     segment-register loads, unaligned accesses, and a wider data
-//     working set.
-//
-// Operations describe their memory behaviour as a small *hot* working set
-// (warms up and stays resident) plus a *streaming* window (cycled through
-// a region larger than the TLB, so it misses persistently — bitmap and
-// glyph data during redraws).
 package winsys
 
 import (
