@@ -16,7 +16,7 @@ BENCH_ALLOC_TOL ?= 0.10
 COVER_PKGS   = ./internal/machine ./internal/cpu ./internal/mem ./internal/disk
 COVER_FLOOR ?= 85
 
-.PHONY: all build vet test race verify bench bench-baseline bench-check cover doclint fuzz-smoke repro quick examples clean
+.PHONY: all build vet test race verify bench bench-baseline bench-check cover doclint fuzz-smoke corpus-check repro quick examples clean
 
 all: build verify
 
@@ -36,8 +36,9 @@ race:
 # the benchmark regression gate and a short fuzz of the CSV parsers.
 # Set LATLAB_SKIP_BENCH=1 to skip the benchmark gate (e.g. on loaded or
 # incomparable hardware), LATLAB_SKIP_COVER=1 to skip the coverage
-# floor, LATLAB_SKIP_FUZZ=1 to skip the fuzz smoke, and
-# LATLAB_SKIP_DOCLINT=1 to skip the documentation lint.
+# floor, LATLAB_SKIP_FUZZ=1 to skip the fuzz smoke,
+# LATLAB_SKIP_DOCLINT=1 to skip the documentation lint, and
+# LATLAB_SKIP_CORPUS=1 to skip the scenario-corpus replay.
 verify: vet race
 	@if [ -z "$$LATLAB_SKIP_DOCLINT" ]; then \
 		$(MAKE) --no-print-directory doclint; \
@@ -58,6 +59,11 @@ verify: vet race
 		$(MAKE) --no-print-directory fuzz-smoke; \
 	else \
 		echo "fuzz-smoke skipped (LATLAB_SKIP_FUZZ set)"; \
+	fi
+	@if [ -z "$$LATLAB_SKIP_CORPUS" ]; then \
+		$(MAKE) --no-print-directory corpus-check; \
+	else \
+		echo "corpus-check skipped (LATLAB_SKIP_CORPUS set)"; \
 	fi
 
 # Documentation gate: every internal package needs a package comment and
@@ -84,6 +90,15 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseCounterCSV$$' -fuzztime $(FUZZ_TIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzParseMsgCSV$$' -fuzztime $(FUZZ_TIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzParseAttribCSV$$' -fuzztime $(FUZZ_TIME) ./internal/trace
+	$(GO) test -run '^$$' -fuzz '^FuzzScenarioParse$$' -fuzztime $(FUZZ_TIME) ./internal/scenario
+
+# Replay the committed scenario corpus (testdata/scenarios/) through
+# the full CLI path and diff every rendering against its golden; also
+# re-prove that the ext-faults JSON twins match their Go-registered
+# counterparts byte for byte.
+corpus-check:
+	$(GO) test -run '^(TestCorpusGolden|TestRunCorpus)$$' ./cmd/latbench
+	$(GO) test -run '^TestScenarioTwinsMatchGoRegistered$$' -short ./internal/experiments
 
 # One benchmark per paper table/figure, plus ablations.
 bench:

@@ -175,7 +175,7 @@ func BenchmarkS54TestVsHand(b *testing.B) {
 // keystrokeLatency measures the mean unbound-keystroke latency under p.
 func keystrokeLatency(b *testing.B, p persona.P) float64 {
 	b.Helper()
-	sys := system.Boot(p)
+	sys := system.New(system.Config{Persona: p})
 	defer sys.Shutdown()
 	probe := core.AttachProbe(sys.K)
 	idle := core.StartIdleLoop(sys.K, 60_000)
@@ -246,7 +246,7 @@ func BenchmarkAblation16BitCosts(b *testing.B) {
 // stripping.
 func BenchmarkAblationQueueSync(b *testing.B) {
 	run := func(sync bool) simtime.Duration {
-		sys := system.Boot(persona.W95())
+		sys := system.New(system.Config{Persona: persona.W95()})
 		defer sys.Shutdown()
 		probe := core.AttachProbe(sys.K)
 		idle := core.StartIdleLoop(sys.K, 100_000)
@@ -278,7 +278,7 @@ func BenchmarkAblationQueueSync(b *testing.B) {
 func BenchmarkAblationBufferCache(b *testing.B) {
 	var cold, warm simtime.Duration
 	for i := 0; i < b.N; i++ {
-		sys := system.Boot(persona.NT40())
+		sys := system.New(system.Config{Persona: persona.NT40()})
 		ppt := apps.NewPowerpoint(sys, apps.DefaultPowerpointParams())
 		_ = ppt
 		drive := func(kind kernel.MsgKind, param int64) simtime.Duration {
@@ -312,7 +312,7 @@ func BenchmarkAblationBufferCache(b *testing.B) {
 // running.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sys := system.Boot(persona.NT40())
+		sys := system.New(system.Config{Persona: persona.NT40()})
 		core.StartIdleLoop(sys.K, 1_100_000)
 		sys.K.Run(simtime.Time(10 * simtime.Second))
 		sys.Shutdown()
@@ -323,7 +323,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 // BenchmarkExtraction reports the analysis-side cost: extracting events
 // from a large pre-recorded trace.
 func BenchmarkExtraction(b *testing.B) {
-	sys := system.Boot(persona.NT40())
+	sys := system.New(system.Config{Persona: persona.NT40()})
 	probe := core.AttachProbe(sys.K)
 	idle := core.StartIdleLoop(sys.K, 400_000)
 	n := apps.NewNotepad(sys, 250_000)

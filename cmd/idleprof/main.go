@@ -64,7 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	sys := system.BootOn(p, prof)
+	sys := system.New(system.Config{Persona: p, Machine: prof})
 	defer sys.Shutdown()
 	il := core.StartIdleLoop(sys.K, int(*seconds*1100)+1000)
 

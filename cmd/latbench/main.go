@@ -14,6 +14,14 @@
 //	         [-out results.txt] [-jobs N] [-timeout 5m] [-retries N]
 //	         [-json manifest.json] [-csv-dir dir] [-svg-dir dir]
 //	         [-trace trace.json] [-attrib attrib.csv]
+//	latbench -scenario doc.json [-force]
+//	latbench -run corpus [-corpus dir]
+//
+// -scenario compiles and runs a single declarative scenario document
+// (see README "Scenarios"); -run corpus replays every document in the
+// committed corpus directory. A scenario that pins its own machine
+// conflicts with an explicit -machine: latbench refuses unless -force
+// is given, in which case the scenario wins.
 //
 // -trace records latency-attribution spans on every simulated machine
 // and writes them as Chrome trace-event JSON (load the file in Perfetto
@@ -30,11 +38,13 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 
 	"latlab/internal/experiments"
 	"latlab/internal/machine"
 	"latlab/internal/runner"
+	"latlab/internal/scenario"
 	"latlab/internal/spans"
 	"latlab/internal/trace"
 	"latlab/internal/viz"
@@ -62,10 +72,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonPath  = fs.String("json", "", "write a JSON run manifest to this file")
 		tracePath = fs.String("trace", "", "write a Chrome trace-event JSON of every machine's spans (Perfetto-loadable)")
 		attrPath  = fs.String("attrib", "", "write a per-episode latency-attribution CSV of every machine's spans")
+		scenPath  = fs.String("scenario", "", "compile and run the scenario document at this path")
+		corpusDir = fs.String("corpus", "testdata/scenarios", "scenario corpus directory replayed by -run corpus")
+		force     = fs.Bool("force", false, "let a scenario's pinned machine silently override an explicit -machine")
 	)
+	fs.Usage = func() { groupedUsage(fs, stderr) }
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	userSet := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { userSet[f.Name] = true })
 
 	if *list {
 		groups := []struct {
@@ -130,9 +146,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var specs []experiments.Spec
-	if *runArg == "all" {
+	switch {
+	case *scenPath != "":
+		if userSet["run"] {
+			fmt.Fprintf(stderr, "latbench: -scenario and -run select different work; use one\n")
+			return 1
+		}
+		doc, err := scenario.ParseFile(*scenPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "latbench: %v\n", err)
+			return 1
+		}
+		// Compiled, not registered: a file may deliberately reuse a
+		// registered id (the testdata twins do).
+		spec, err := experiments.FromScenario(doc)
+		if err != nil {
+			fmt.Fprintf(stderr, "latbench: %v\n", err)
+			return 1
+		}
+		specs = []experiments.Spec{spec}
+	case *runArg == "corpus":
+		var err error
+		specs, err = corpusSpecs(*corpusDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "latbench: %v\n", err)
+			return 1
+		}
+	case *runArg == "all":
 		specs = experiments.All()
-	} else {
+	default:
 		for _, id := range strings.Split(*runArg, ",") {
 			s, ok := experiments.ByID(strings.TrimSpace(id))
 			if !ok {
@@ -145,6 +187,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 1
 			}
 			specs = append(specs, s)
+		}
+	}
+
+	// An explicit -machine and a scenario that pins its own machine are
+	// contradictory orders; the scenario would win silently (its pinned
+	// machine is part of its reproducibility contract), so demand -force.
+	if userSet["machine"] && !*force {
+		for _, s := range specs {
+			if s.Scenario != nil && s.Scenario.Machine != "" && s.Scenario.Machine != *machineID {
+				fmt.Fprintf(stderr, "latbench: -machine %s conflicts with scenario %s, which pins machine %s (the scenario wins; pass -force to accept that)\n",
+					*machineID, s.ID, s.Scenario.Machine)
+				return 1
+			}
 		}
 	}
 
@@ -233,6 +288,68 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// corpusSpecs compiles every scenario document in dir, in path order,
+// so a corpus replay is a deterministic suite.
+func corpusSpecs(dir string) ([]experiments.Spec, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no scenario documents (*.json) in %s", dir)
+	}
+	sort.Strings(paths)
+	var specs []experiments.Spec
+	for _, p := range paths {
+		doc, err := scenario.ParseFile(p)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := experiments.FromScenario(doc)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// groupedUsage prints -h output with the flags grouped by what they
+// control instead of flag's flat alphabetical list.
+func groupedUsage(fs *flag.FlagSet, w io.Writer) {
+	fmt.Fprintf(w, "Usage: latbench [flags]\n")
+	groups := []struct {
+		title string
+		names []string
+	}{
+		{"run selection", []string{"list", "run", "quick", "seed", "jobs", "timeout", "retries"}},
+		{"output", []string{"out", "json", "csv-dir", "svg-dir", "trace", "attrib"}},
+		{"machine & scenario", []string{"machine", "scenario", "corpus", "force"}},
+	}
+	for _, g := range groups {
+		fmt.Fprintf(w, "\n%s:\n", g.title)
+		for _, name := range g.names {
+			f := fs.Lookup(name)
+			if f == nil {
+				continue
+			}
+			typ, usage := flag.UnquoteUsage(f)
+			line := "  -" + f.Name
+			if typ != "" {
+				line += " " + typ
+			}
+			fmt.Fprintf(w, "%s\n    \t%s", line, usage)
+			switch f.DefValue {
+			case "", "false", "0", "0s":
+				// zero default: not worth printing
+			default:
+				fmt.Fprintf(w, " (default %s)", f.DefValue)
+			}
+			fmt.Fprintln(w)
+		}
+	}
 }
 
 // attribRecords reduces collected span tracks to per-episode

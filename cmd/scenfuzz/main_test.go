@@ -1,0 +1,69 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"latlab/internal/scenario"
+)
+
+// TestSearchFindsAndWritesOutliers runs a tiny search end to end: the
+// report is deterministic for a fixed seed range, and every written
+// document re-parses, pins its seed, and validates.
+func TestSearchFindsAndWritesOutliers(t *testing.T) {
+	dir := t.TempDir()
+	var out, errBuf strings.Builder
+	code := run([]string{"-start", "1", "-n", "12", "-threshold", "1", "-keep", "3", "-out", dir},
+		&out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "searched seeds 1..12") {
+		t.Fatalf("missing report header:\n%s", out.String())
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "fz-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("wrote %d documents, want 3", len(paths))
+	}
+	for _, p := range paths {
+		doc, err := scenario.ParseFile(p)
+		if err != nil {
+			t.Fatalf("written document does not parse: %v", err)
+		}
+		if doc.Seed == 0 {
+			t.Fatalf("%s: document does not pin its seed", p)
+		}
+	}
+}
+
+// TestScoreReproducible locks the scorer itself: the same seed yields
+// the same cliff metrics, which is what makes a committed outlier's
+// numbers in EXPERIMENTS.md checkable.
+func TestScoreReproducible(t *testing.T) {
+	a := score(19, scenario.Constraints{})
+	b := score(19, scenario.Constraints{})
+	if a.err != nil || b.err != nil {
+		t.Fatalf("score failed: %v / %v", a.err, b.err)
+	}
+	if a.ratio != b.ratio || a.maxMs != b.maxMs || a.events != b.events {
+		t.Fatalf("score not reproducible: %+v vs %+v", a, b)
+	}
+	if a.ratio <= 1 {
+		t.Fatalf("seed 19 is a known cliff, got ratio %.2f", a.ratio)
+	}
+}
+
+// TestBadFlags pins the CLI's failure modes.
+func TestBadFlags(t *testing.T) {
+	var out, errBuf strings.Builder
+	if code := run([]string{"-bogus"}, &out, &errBuf); code != 2 {
+		t.Fatalf("unknown flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"-n", "1", "-kinds", "spreadsheet"}, &out, &errBuf); code != 1 {
+		t.Fatalf("invalid kind constraint: exit %d, want 1 (stderr: %s)", code, errBuf.String())
+	}
+}

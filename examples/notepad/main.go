@@ -23,7 +23,7 @@ import (
 func main() {
 	text := input.SampleText(400)
 	for _, p := range persona.All() {
-		sys := system.Boot(p)
+		sys := system.New(system.Config{Persona: p})
 		probe := core.AttachProbe(sys.K)
 		idle := core.StartIdleLoop(sys.K, 200_000)
 		notepad := apps.NewNotepad(sys, 250_000)

@@ -31,7 +31,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	sys := system.Boot(p)
+	sys := system.New(system.Config{Persona: p})
 	defer sys.Shutdown()
 	probe := core.AttachProbe(sys.K)
 	idle := core.StartIdleLoop(sys.K, 300_000)

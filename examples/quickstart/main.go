@@ -25,7 +25,7 @@ import (
 
 func main() {
 	// 1. Boot a machine with the NT 4.0 personality.
-	sys := system.Boot(persona.NT40())
+	sys := system.New(system.Config{Persona: persona.NT40()})
 	defer sys.Shutdown()
 
 	// 2. Install the measurement methodology: probe + idle loop.

@@ -28,7 +28,7 @@ func main() {
 	fmt.Printf("\n  %-18s %10s %10s %8s %13s\n", "system", "think", "wait", "wait%", "transitions")
 
 	for _, p := range persona.All() {
-		sys := system.Boot(p)
+		sys := system.New(system.Config{Persona: p})
 		probe := core.AttachProbe(sys.K)
 		core.StartIdleLoop(sys.K, 200_000)
 

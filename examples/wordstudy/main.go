@@ -21,7 +21,7 @@ import (
 )
 
 func run(testDriven bool) (typicalMs float64, crMaxMs float64, bgBursts int) {
-	sys := system.Boot(persona.NT351())
+	sys := system.New(system.Config{Persona: persona.NT351()})
 	defer sys.Shutdown()
 	probe := core.AttachProbe(sys.K)
 	idle := core.StartIdleLoop(sys.K, 400_000)

@@ -19,7 +19,7 @@ type rig struct {
 }
 
 func newRig(p persona.P, bufCap int) *rig {
-	sys := system.Boot(p)
+	sys := system.New(system.Config{Persona: p})
 	pr := core.AttachProbe(sys.K)
 	il := core.StartIdleLoop(sys.K, bufCap)
 	return &rig{sys: sys, pr: pr, il: il}

@@ -10,7 +10,7 @@ import (
 	"latlab/internal/system"
 )
 
-func bootNT40() *system.System { return system.Boot(persona.NT40()) }
+func bootNT40() *system.System { return system.New(system.Config{Persona: persona.NT40()}) }
 
 func TestPowerpointCommandGuards(t *testing.T) {
 	sys := bootNT40()

@@ -19,6 +19,7 @@ import (
 	"latlab/internal/kernel"
 	"latlab/internal/machine"
 	"latlab/internal/persona"
+	"latlab/internal/scenario"
 	"latlab/internal/simtime"
 	"latlab/internal/spans"
 	"latlab/internal/system"
@@ -157,6 +158,11 @@ type Spec struct {
 	// timeouts from outside) and report failures as errors rather than
 	// writing to the result.
 	Run func(ctx context.Context, cfg Config) (Result, error)
+	// Scenario is the declarative document this spec was compiled from
+	// (FromScenario), nil for hand-written experiments. The runner
+	// copies it into the manifest so a -json record carries the full
+	// declarative config of every file-backed run.
+	Scenario *scenario.Doc
 }
 
 var registry []Spec
@@ -245,7 +251,7 @@ func newRig(cfg Config, p persona.P, runSeconds int) *rig {
 // newRigOn boots persona p on an explicit hardware profile; the ext-hw
 // scenario-matrix experiments use it to compare machines side by side.
 func newRigOn(cfg Config, p persona.P, prof machine.Profile, runSeconds int) *rig {
-	sys := system.BootOn(p, prof)
+	sys := system.New(system.Config{Persona: p, Machine: prof})
 	pr := core.AttachProbe(sys.K)
 	il := core.StartIdleLoop(sys.K, runSeconds*1100+10_000)
 	r := &rig{sys: sys, pr: pr, il: il}

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 	"io"
 
@@ -11,7 +10,7 @@ import (
 	"latlab/internal/faults"
 	"latlab/internal/input"
 	"latlab/internal/kernel"
-	"latlab/internal/persona"
+	"latlab/internal/scenario"
 	"latlab/internal/simtime"
 	"latlab/internal/system"
 )
@@ -104,29 +103,33 @@ func faultsTarget(r *rig, needBackground bool) faults.Target {
 
 // faultsPPT runs the paper's PowerPoint task (launch, open, page
 // through, OLE edit, save — §5.2) under plan and returns the analysis
-// row. label tags the row; an empty plan is the clean baseline.
-func faultsPPT(label string, cfg Config, plan faults.Plan) ExtFaultsRow {
-	p := persona.NT40()
+// row. label tags the row; an empty plan is the clean baseline. The
+// deck, paging, and pacing come from the compiled scenario run: empty
+// PageDowns means the full paper task ([9,10,10]), and each PageDowns
+// entry is one OLE edit.
+func faultsPPT(label string, cfg Config, sc scRun, plan faults.Plan) ExtFaultsRow {
 	params := apps.DefaultPowerpointParams()
-	pageDowns := []int{9, 10, 10}
-	edits := 3
-	if cfg.Quick {
-		params.Slides = 12
-		params.ObjectSlides = []int{3, 6, 9}
-		pageDowns = []int{2, 3, 3}
-		edits = 2
+	if sc.prm.Slides != 0 {
+		params.Slides = sc.prm.Slides
 	}
-	r := newRig(cfg, p, 400)
+	if len(sc.prm.ObjectSlides) > 0 {
+		params.ObjectSlides = sc.prm.ObjectSlides
+	}
+	pageDowns := sc.prm.PageDowns
+	if len(pageDowns) == 0 {
+		pageDowns = []int{9, 10, 10}
+	}
+	r := newRig(cfg, sc.p, 400)
 	defer r.shutdown()
 	faults.NewClock(plan).Arm(faultsTarget(r, false))
 	ppt := apps.NewPowerpoint(r.sys, params)
 
-	think := 300 * simtime.Millisecond
+	think := simtime.FromMillis(defF(sc.prm.ThinkMs, 300))
 	var steps []chainStep
 	steps = append(steps, step(kernel.WMCommand, apps.CmdLaunch, 500*simtime.Millisecond))
 	steps = append(steps, step(kernel.WMCommand, apps.CmdOpen, think))
-	for i := 0; i < edits; i++ {
-		for j := 0; j < pageDowns[i]; j++ {
+	for i, downs := range pageDowns {
+		for j := 0; j < downs; j++ {
 			steps = append(steps, step(kernel.WMKeyDown, input.VKPageDown, think))
 		}
 		steps = append(steps, step(kernel.WMCommand, apps.CmdEditObject+int64(i), think))
@@ -137,27 +140,23 @@ func faultsPPT(label string, cfg Config, plan faults.Plan) ExtFaultsRow {
 	}
 	steps = append(steps, step(kernel.WMCommand, apps.CmdSave, think))
 
-	runChain(r.sys, steps, true, simtime.Time(380*simtime.Second))
+	runChain(r.sys, steps, true, simtime.Time(secs(defF(sc.prm.DeadlineS, 380))))
 	// Analyse through the trailing quiescence runChain appends, so the
 	// FSM end matches the probe's last records.
 	return faultsRow(label, r, ppt.Thread(), r.sys.K.Now())
 }
 
-// faultsTyping runs a paced Notepad typing session under plan.
-func faultsTyping(label string, cfg Config, plan faults.Plan) ExtFaultsRow {
-	p := persona.NT40()
-	chars := 150
-	if cfg.Quick {
-		chars = 60
-	}
-	r := newRig(cfg, p, 240)
+// faultsTyping runs a paced Notepad typing session under plan. Input
+// comes from the scenario run: the seeded typist by default, or the
+// document's explicit stanza timeline.
+func faultsTyping(label string, cfg Config, sc scRun, plan faults.Plan) ExtFaultsRow {
+	r := newRig(cfg, sc.p, 240)
 	defer r.shutdown()
 	faults.NewClock(plan).Arm(faultsTarget(r, true))
 	n := apps.NewNotepad(r.sys, 250_000)
-	ty := input.NewTypist(cfg.Seed, 70)
-	script := &input.Script{Events: ty.Type(simtime.Time(300*simtime.Millisecond), input.SampleText(chars))}
+	script := sc.scenarioScript(defF(sc.prm.StartMs, 300))
 	script.Install(r.sys)
-	done := r.sys.K.Run(script.End().Add(3 * simtime.Second))
+	done := r.sys.K.Run(script.End().Add(secs(defF(sc.prm.TrailingS, 3))))
 	return faultsRow(label, r, n.Thread(), done)
 }
 
@@ -186,14 +185,10 @@ func faultsRow(label string, r *rig, t *kernel.Thread, end simtime.Time) ExtFaul
 // the second pass is cache-warm on a clean machine and cold again under
 // eviction pressure — the paper's "effects of the file system cache"
 // phenomenon produced (and destroyed) on demand.
-func faultsBrowser(label string, cfg Config, plan faults.Plan) ExtFaultsRow {
-	p := persona.NT40()
+func faultsBrowser(label string, cfg Config, sc scRun, plan faults.Plan) ExtFaultsRow {
 	const viewPages, chunk = 64, 8
-	views := 16
-	if cfg.Quick {
-		views = 8
-	}
-	r := newRig(cfg, p, 120)
+	views := sc.prm.Views
+	r := newRig(cfg, sc.p, 120)
 	defer r.shutdown()
 	faults.NewClock(plan).Arm(faultsTarget(r, false))
 
@@ -218,81 +213,113 @@ func faultsBrowser(label string, cfg Config, plan faults.Plan) ExtFaultsRow {
 	})
 
 	var steps []chainStep
+	think := simtime.FromMillis(defF(sc.prm.ThinkMs, 300))
 	for i := 0; i < 2*views; i++ {
-		steps = append(steps, step(kernel.WMKeyDown, input.VKPageDown, 300*simtime.Millisecond))
+		steps = append(steps, step(kernel.WMKeyDown, input.VKPageDown, think))
 	}
-	runChain(r.sys, steps, true, simtime.Time(110*simtime.Second))
+	runChain(r.sys, steps, true, simtime.Time(secs(defF(sc.prm.DeadlineS, 110))))
 	return faultsRow(label, r, app, r.sys.K.Now())
 }
 
-func runExtFaultsDisk(ctx context.Context, cfg Config) (Result, error) {
-	span := 120 * simtime.Second
-	if cfg.Quick {
-		span = 30 * simtime.Second
-	}
-	plan := faults.Generate(cfg.Seed, span,
-		faults.DiskDegrade, faults.DiskStall, faults.DiskMediaErrors)
-	res := &ExtFaultsResult{ID: "ext-faults-disk",
-		Title: "Powerpoint task under disk faults (degrade, stall, media errors)", Plan: plan}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	res.Rows = append(res.Rows, faultsPPT("clean", cfg, faults.Plan{}))
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	res.Rows = append(res.Rows, faultsPPT("degraded", cfg, plan))
-	return res, nil
+// compareCleanDegraded is the canonical comparison of the ext-faults
+// family: the same workload once on a clean machine, once under the
+// document's fault plan.
+func compareCleanDegraded() []scenario.Row {
+	return []scenario.Row{{Label: "clean"}, {Label: "degraded", Faulted: true}}
 }
 
-func runExtFaultsIRQ(ctx context.Context, cfg Config) (Result, error) {
-	// Span matches the typing session (~10 s quick, ~26 s full) so the
-	// fault windows land mid-session.
-	span := 26 * simtime.Second
-	if cfg.Quick {
-		span = 12 * simtime.Second
+// extFaultsDiskDoc declares ext-faults-disk: the §5.2 PowerPoint task
+// under disk degradation. The span (120 s full, 30 s quick) matches
+// the task so the windows land mid-run.
+func extFaultsDiskDoc() scenario.Doc {
+	return scenario.Doc{
+		Schema:  scenario.SchemaVersion,
+		ID:      "ext-faults-disk",
+		Title:   "Latency analysis under injected disk faults",
+		Banner:  "Powerpoint task under disk faults (degrade, stall, media errors)",
+		Paper:   "Table 1, §5.2 (robustness extension)",
+		Persona: "nt40",
+		Workload: scenario.Workload{
+			Kind: scenario.KindPowerpoint,
+			Full: scenario.Params{PageDowns: []int{9, 10, 10}},
+			Quick: &scenario.Params{Slides: 12, ObjectSlides: []int{3, 6, 9},
+				PageDowns: []int{2, 3}},
+		},
+		Faults: &scenario.FaultSpec{
+			Kinds:      []string{"disk-degrade", "disk-stall", "disk-media-errors"},
+			SpanS:      120,
+			QuickSpanS: 30,
+		},
+		Compare: compareCleanDegraded(),
 	}
-	plan := faults.Generate(cfg.Seed, span,
-		faults.IRQStorm, faults.TimerJitter, faults.PriorityInversion)
-	res := &ExtFaultsResult{ID: "ext-faults-irq",
-		Title: "Notepad typing under interrupt storm, timer jitter, priority inversion", Plan: plan}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	res.Rows = append(res.Rows, faultsTyping("clean", cfg, faults.Plan{}))
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	res.Rows = append(res.Rows, faultsTyping("degraded", cfg, plan))
-	return res, nil
 }
 
-func runExtFaultsCache(ctx context.Context, cfg Config) (Result, error) {
-	// Span covers the two browsing passes (~8 s quick, ~18 s full) so
-	// the pressure window straddles the warm second pass.
-	span := 18 * simtime.Second
-	if cfg.Quick {
-		span = 10 * simtime.Second
+// extFaultsIRQDoc declares ext-faults-irq: a typist session under
+// interrupt and scheduler degradation. The span matches the typing
+// session (~10 s quick, ~26 s full) so the windows land mid-session.
+func extFaultsIRQDoc() scenario.Doc {
+	return scenario.Doc{
+		Schema:  scenario.SchemaVersion,
+		ID:      "ext-faults-irq",
+		Title:   "Latency analysis under interrupt and scheduler faults",
+		Banner:  "Notepad typing under interrupt storm, timer jitter, priority inversion",
+		Paper:   "§2.5, §5.3 (robustness extension)",
+		Persona: "nt40",
+		Workload: scenario.Workload{
+			Kind:  scenario.KindTyping,
+			Full:  scenario.Params{Chars: 150},
+			Quick: &scenario.Params{Chars: 60},
+		},
+		Faults: &scenario.FaultSpec{
+			Kinds:      []string{"irq-storm", "timer-jitter", "priority-inversion"},
+			SpanS:      26,
+			QuickSpanS: 12,
+		},
+		Compare: compareCleanDegraded(),
 	}
-	plan := faults.Generate(cfg.Seed, span, faults.CachePressure)
-	res := &ExtFaultsResult{ID: "ext-faults-cache",
-		Title: "document browsing under buffer-cache pressure", Plan: plan}
-	if err := ctx.Err(); err != nil {
-		return nil, err
+}
+
+// extFaultsCacheDoc declares ext-faults-cache: two browsing passes
+// under buffer-cache pressure. The span (~8 s quick, ~18 s full)
+// straddles the cache-warm second pass.
+func extFaultsCacheDoc() scenario.Doc {
+	return scenario.Doc{
+		Schema:  scenario.SchemaVersion,
+		ID:      "ext-faults-cache",
+		Title:   "Latency analysis under cache pressure",
+		Banner:  "document browsing under buffer-cache pressure",
+		Paper:   "Table 1, §5.2 (robustness extension)",
+		Persona: "nt40",
+		Workload: scenario.Workload{
+			Kind:  scenario.KindBrowse,
+			Full:  scenario.Params{Views: 16},
+			Quick: &scenario.Params{Views: 8},
+		},
+		Faults: &scenario.FaultSpec{
+			Kinds:      []string{"cache-pressure"},
+			SpanS:      18,
+			QuickSpanS: 10,
+		},
+		Compare: compareCleanDegraded(),
 	}
-	res.Rows = append(res.Rows, faultsBrowser("clean", cfg, faults.Plan{}))
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	res.Rows = append(res.Rows, faultsBrowser("degraded", cfg, plan))
-	return res, nil
+}
+
+// extFaultsDocs returns the family's documents; the JSON twins under
+// testdata/scenarios/ are kept byte-equivalent to these by
+// TestScenarioTwinsMatchGoRegistered.
+func extFaultsDocs() []scenario.Doc {
+	return []scenario.Doc{extFaultsDiskDoc(), extFaultsIRQDoc(), extFaultsCacheDoc()}
 }
 
 func init() {
-	Register(Spec{ID: "ext-faults-disk", Title: "Latency analysis under injected disk faults",
-		Paper: "Table 1, §5.2 (robustness extension)", Run: runExtFaultsDisk})
-	Register(Spec{ID: "ext-faults-irq", Title: "Latency analysis under interrupt and scheduler faults",
-		Paper: "§2.5, §5.3 (robustness extension)", Run: runExtFaultsIRQ})
-	Register(Spec{ID: "ext-faults-cache", Title: "Latency analysis under cache pressure",
-		Paper: "Table 1, §5.2 (robustness extension)", Run: runExtFaultsCache})
+	// The ext-faults family registers through the scenario compiler:
+	// these Go-declared documents and their file twins share one code
+	// path end to end.
+	for _, doc := range extFaultsDocs() {
+		spec, err := FromScenario(doc)
+		if err != nil {
+			panic(err)
+		}
+		Register(spec)
+	}
 }

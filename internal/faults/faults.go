@@ -66,6 +66,26 @@ func (k Kind) String() string {
 	}
 }
 
+// KindByName returns the kind with the given stable name (the String
+// form used in plan renders, manifests, and scenario documents).
+func KindByName(name string) (Kind, bool) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// KindNames returns the stable names of every kind, in Kind order.
+func KindNames() []string {
+	out := make([]string, numKinds)
+	for k := Kind(0); k < numKinds; k++ {
+		out[k] = k.String()
+	}
+	return out
+}
+
 // Fault is one scheduled degradation window.
 type Fault struct {
 	Kind      Kind

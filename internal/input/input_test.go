@@ -118,7 +118,7 @@ func TestSampleText(t *testing.T) {
 }
 
 func TestScriptInstallDelivers(t *testing.T) {
-	sys := system.Boot(persona.NT40())
+	sys := system.New(system.Config{Persona: persona.NT40()})
 	defer sys.Shutdown()
 	var got []kernel.Msg
 	sys.SpawnApp("app", func(tc *kernel.TC) {

@@ -19,7 +19,7 @@
 // The package sits below the hardware models: cpu, mem, and disk each
 // derive their own configuration from a Profile (cpu.NewFor,
 // mem.ConfigFor, disk.ParamsFor), and kernel.Config carries the Profile
-// so system.BootOn can thread one machine through a whole boot.
+// so system.New can thread one machine through a whole boot.
 package machine
 
 import (

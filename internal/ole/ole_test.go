@@ -14,7 +14,7 @@ import (
 // PowerPoint task).
 func activateTimes(t *testing.T, p persona.P) [3]simtime.Duration {
 	t.Helper()
-	sys := system.Boot(p)
+	sys := system.New(system.Config{Persona: p})
 	defer sys.Shutdown()
 	srv := NewServer(sys.Win, sys.K.Cache(), DefaultServerConfig())
 	objs := [3]*Object{
@@ -70,7 +70,7 @@ func TestActivationNT351SlowerThanNT40(t *testing.T) {
 }
 
 func TestRenderDoesNotTouchDisk(t *testing.T) {
-	sys := system.Boot(persona.NT40())
+	sys := system.New(system.Config{Persona: persona.NT40()})
 	defer sys.Shutdown()
 	srv := NewServer(sys.Win, sys.K.Cache(), DefaultServerConfig())
 	obj := NewObject(srv, "obj", 400_000, 100, 240)
@@ -91,7 +91,7 @@ func TestRenderDoesNotTouchDisk(t *testing.T) {
 }
 
 func TestEditKeystroke(t *testing.T) {
-	sys := system.Boot(persona.NT40())
+	sys := system.New(system.Config{Persona: persona.NT40()})
 	defer sys.Shutdown()
 	srv := NewServer(sys.Win, sys.K.Cache(), DefaultServerConfig())
 	obj := NewObject(srv, "obj", 400_000, 100, 240)
@@ -112,7 +112,7 @@ func TestEditKeystroke(t *testing.T) {
 }
 
 func TestEditBeforeActivatePanics(t *testing.T) {
-	sys := system.Boot(persona.NT40())
+	sys := system.New(system.Config{Persona: persona.NT40()})
 	defer sys.Shutdown()
 	srv := NewServer(sys.Win, sys.K.Cache(), DefaultServerConfig())
 	obj := NewObject(srv, "obj", 400_000, 100, 240)

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"latlab/internal/experiments"
+	"latlab/internal/scenario"
 )
 
 // Options tunes a suite run.
@@ -100,6 +101,11 @@ type RunRecord struct {
 	// Cancelled marks a synthetic record for a spec whose result the run
 	// never collected because the suite was cancelled first.
 	Cancelled bool `json:"cancelled,omitempty"`
+	// Scenario is the full declarative document of a file-backed or
+	// scenario-registered experiment (experiments.FromScenario), absent
+	// for hand-written experiments — so a -json manifest records the
+	// complete config every such run can be reproduced from.
+	Scenario *scenario.Doc `json:"scenario,omitempty"`
 }
 
 // Failed reports whether the experiment did not produce a result.
@@ -251,8 +257,9 @@ func Run(ctx context.Context, specs []experiments.Spec, opt Options, emit func(O
 		man.Records = append(man.Records, RunRecord{
 			ID: s.ID, Title: s.Title, Paper: s.Paper,
 			Seed: opt.Config.Seed, Quick: opt.Config.Quick,
-			Machine: opt.Config.MachineProfile().Short,
-			Error:   "cancelled", Cancelled: true,
+			Machine:  opt.Config.MachineProfile().Short,
+			Scenario: s.Scenario,
+			Error:    "cancelled", Cancelled: true,
 		})
 	}
 	man.WallSeconds = time.Since(start).Seconds()
@@ -269,7 +276,8 @@ func runOne(ctx context.Context, s experiments.Spec, opt Options) Outcome {
 	rec := RunRecord{
 		ID: s.ID, Title: s.Title, Paper: s.Paper,
 		Seed: opt.Config.Seed, Quick: opt.Config.Quick,
-		Machine: opt.Config.MachineProfile().Short,
+		Machine:  opt.Config.MachineProfile().Short,
+		Scenario: s.Scenario,
 	}
 	for attempt := 0; ; attempt++ {
 		cfg := opt.Config

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"latlab/internal/experiments"
+	"latlab/internal/scenario"
 )
 
 // fakeResult renders a fixed payload.
@@ -333,6 +334,43 @@ func TestManifestJSONRoundTrips(t *testing.T) {
 	for _, want := range []string{`"id": "a"`, `"go_version"`, `"wall_seconds"`, `"records"`} {
 		if !strings.Contains(sb.String(), want) {
 			t.Fatalf("manifest JSON missing %s:\n%s", want, sb.String())
+		}
+	}
+}
+
+// TestManifestCarriesScenario checks that a scenario-compiled spec's
+// document lands in its RunRecord — including the synthetic record of
+// a cancelled suite — while hand-written specs stay scenario-free.
+func TestManifestCarriesScenario(t *testing.T) {
+	doc := &scenario.Doc{
+		Schema: scenario.SchemaVersion, ID: "sc-test", Title: "t",
+		Persona:  "nt40",
+		Workload: scenario.Workload{Kind: scenario.KindTyping, Full: scenario.Params{Chars: 10}},
+	}
+	withDoc := mkSpec("sc-test", 0)
+	withDoc.Scenario = doc
+	specs := []experiments.Spec{withDoc, mkSpec("plain", 0)}
+
+	_, man := render(t, specs, 1, 0)
+	if man.Records[0].Scenario == nil || man.Records[0].Scenario.ID != "sc-test" {
+		t.Fatalf("scenario spec's record lost its document: %+v", man.Records[0].Scenario)
+	}
+	if man.Records[1].Scenario != nil {
+		t.Fatalf("hand-written spec's record gained a document")
+	}
+
+	// A cancelled suite synthesizes records for uncollected specs; the
+	// document must survive there too, or a -json manifest from an
+	// aborted run would under-describe the corpus it was replaying.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	man2, _ := Run(ctx, specs, Options{Jobs: 1}, nil)
+	if man2 == nil {
+		t.Fatal("cancelled run should still return a manifest")
+	}
+	for _, r := range man2.Records {
+		if r.ID == "sc-test" && r.Cancelled && r.Scenario == nil {
+			t.Fatalf("cancelled synthetic record lost the scenario document")
 		}
 	}
 }

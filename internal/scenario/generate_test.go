@@ -1,0 +1,93 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGenerateDeterministic locks the fuzzer's contract: the same
+// (seed, constraints) always yields the same document, and the
+// document pins its own seed.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		a := Generate(seed, Constraints{})
+		b := Generate(seed, Constraints{})
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: Generate is not deterministic", seed)
+		}
+		if a.Seed != seed {
+			t.Fatalf("seed %d: document pins seed %d", seed, a.Seed)
+		}
+	}
+	if reflect.DeepEqual(Generate(1, Constraints{}), Generate(2, Constraints{})) {
+		t.Fatal("distinct seeds should yield distinct documents")
+	}
+}
+
+// TestGenerateAlwaysValidates runs the generator across a wide seed
+// range: every output must pass the same Validate gate hand-written
+// documents do.
+func TestGenerateAlwaysValidates(t *testing.T) {
+	for seed := uint64(1); seed <= 500; seed++ {
+		d := Generate(seed, Constraints{})
+		if err := d.Validate(); err != nil {
+			t.Fatalf("seed %d: generated document is invalid: %v\n%+v", seed, err, d)
+		}
+	}
+}
+
+// TestGenerateHonoursConstraints pins the search-space bounds.
+func TestGenerateHonoursConstraints(t *testing.T) {
+	c := Constraints{
+		Kinds:    []string{KindTyping},
+		Personas: []string{"w95"},
+		Machines: []string{"p200"},
+		MaxChars: 50, MaxFaults: 1, MaxStanzas: 2,
+	}
+	for seed := uint64(1); seed <= 100; seed++ {
+		d := Generate(seed, c)
+		if d.Workload.Kind != KindTyping {
+			t.Fatalf("seed %d: kind %q escaped constraint", seed, d.Workload.Kind)
+		}
+		if d.Persona != "w95" || d.Machine != "p200" {
+			t.Fatalf("seed %d: persona/machine %q/%q escaped constraint", seed, d.Persona, d.Machine)
+		}
+		if d.Workload.Full.Chars > 50 {
+			t.Fatalf("seed %d: chars %d > 50", seed, d.Workload.Full.Chars)
+		}
+		if len(d.Input) > 2 {
+			t.Fatalf("seed %d: %d stanzas > 2", seed, len(d.Input))
+		}
+		if f := d.Faults; f != nil && len(f.Kinds)+len(f.Windows) > 1 {
+			t.Fatalf("seed %d: fault count escaped MaxFaults", seed)
+		}
+	}
+}
+
+// TestGenerateCoversSpace checks the generator actually explores:
+// across a modest seed range every workload kind appears, and both
+// derived and explicit fault plans occur.
+func TestGenerateCoversSpace(t *testing.T) {
+	kinds := map[string]bool{}
+	derived, explicit, clean := false, false, false
+	for seed := uint64(1); seed <= 200; seed++ {
+		d := Generate(seed, Constraints{})
+		kinds[d.Workload.Kind] = true
+		switch {
+		case d.Faults == nil:
+			clean = true
+		case len(d.Faults.Kinds) > 0:
+			derived = true
+		default:
+			explicit = true
+		}
+	}
+	for _, k := range WorkloadKinds() {
+		if !kinds[k] {
+			t.Errorf("workload kind %q never generated", k)
+		}
+	}
+	if !derived || !explicit || !clean {
+		t.Errorf("fault-plan coverage: derived=%v explicit=%v clean=%v", derived, explicit, clean)
+	}
+}

@@ -6,9 +6,11 @@
 package system
 
 import (
+	"latlab/internal/faults"
 	"latlab/internal/kernel"
 	"latlab/internal/machine"
 	"latlab/internal/persona"
+	"latlab/internal/spans"
 	"latlab/internal/winsys"
 )
 
@@ -36,24 +38,46 @@ type System struct {
 	nextProc kernel.ProcID
 }
 
-// Boot builds and starts a machine for persona p on the paper's
-// hardware (machine.Pentium100). It is the thin wrapper over BootOn
-// kept so pre-profile call sites migrate mechanically.
-func Boot(p persona.P) *System {
-	return BootOn(p, machine.Pentium100())
+// Config describes one machine to boot: who it pretends to be
+// (Persona), what it runs on (Machine), and the optional cross-cutting
+// attachments — a fault plan to arm and a span recorder to observe
+// with. It is the single construction surface the scenario compiler
+// lowers onto; the zero value of every field but Persona is valid.
+type Config struct {
+	// Persona is the OS personality to boot. Required: an unnamed
+	// persona (empty Name) panics, because a zero persona.P would
+	// otherwise boot a silently meaningless machine.
+	Persona persona.P
+	// Machine is the hardware profile; the zero value means the paper's
+	// Pentium (machine.Pentium100).
+	Machine machine.Profile
+	// Faults is armed on the booted kernel with a kernel-only target
+	// (faults.Target{K: ...}), before any application is spawned. Fault
+	// kinds that need richer targets — PriorityInversion's victim
+	// thread, a custom storm segment — are skipped or defaulted by
+	// faults.Arm; callers needing them arm their own faults.Clock
+	// instead and leave this empty. The empty plan takes the exact
+	// fault-free code path.
+	Faults faults.Plan
+	// Spans, when non-nil, is attached to the kernel before the first
+	// event runs, so the whole boot is observable. Recording never
+	// perturbs the simulation.
+	Spans *spans.Recorder
 }
 
-// BootOn builds and starts persona p on hardware profile prof: kernel,
-// window system, background threads, and (for personas with
-// MouseBusyWait) the mouse router. The persona's kernel config is
-// bound to prof, so the whole boot — CPU clock, TLB/L2 behaviour, disk
-// geometry — runs on that machine. Call Shutdown when done to release
-// thread goroutines.
-func BootOn(p persona.P, prof machine.Profile) *System {
-	prof = prof.OrDefault()
-	cfg := p.Kernel
-	cfg.Machine = prof
-	s := &System{K: kernel.New(cfg), P: p, M: prof, nextProc: 1}
+// New builds and starts a machine from cfg: kernel on cfg.Machine,
+// window system, the persona's background threads, and (for personas
+// with MouseBusyWait) the mouse router; then arms cfg.Faults and
+// attaches cfg.Spans. Call Shutdown when done to release thread
+// goroutines.
+func New(cfg Config) *System {
+	if cfg.Persona.Name == "" {
+		panic("system: New with zero-value Persona")
+	}
+	p, prof := cfg.Persona, cfg.Machine.OrDefault()
+	kcfg := p.Kernel
+	kcfg.Machine = prof
+	s := &System{K: kernel.New(kcfg), P: p, M: prof, nextProc: 1}
 	s.Win = winsys.New(s.K, p)
 
 	for _, b := range p.Background {
@@ -69,7 +93,28 @@ func BootOn(p persona.P, prof machine.Profile) *System {
 	if p.MouseBusyWait {
 		s.router = s.K.Spawn("mouse16", kernel.KernelProc, RouterPrio, s.mouseRouter)
 	}
+	if !cfg.Faults.Empty() {
+		faults.NewClock(cfg.Faults).Arm(faults.Target{K: s.K})
+	}
+	if cfg.Spans != nil {
+		s.K.SetRecorder(cfg.Spans)
+	}
 	return s
+}
+
+// Boot builds and starts a machine for persona p on the paper's
+// hardware (machine.Pentium100).
+//
+// Deprecated: use New(Config{Persona: p}).
+func Boot(p persona.P) *System {
+	return New(Config{Persona: p})
+}
+
+// BootOn builds and starts persona p on hardware profile prof.
+//
+// Deprecated: use New(Config{Persona: p, Machine: prof}).
+func BootOn(p persona.P, prof machine.Profile) *System {
+	return New(Config{Persona: p, Machine: prof})
 }
 
 // mouseRouter reproduces the Windows 95 behaviour the paper found: "the
