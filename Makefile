@@ -6,8 +6,8 @@ GO ?= go
 # Hot-path benchmarks gated against committed BENCH_<date>.json
 # baselines. ns/op and allocs/op may regress at most BENCH_NS_TOL /
 # BENCH_ALLOC_TOL (fractions) before bench-check fails.
-BENCH_GATE_PAT  = ^(BenchmarkSimulatorThroughput|BenchmarkExtraction|BenchmarkSchedulePop|BenchmarkLRUTouch|BenchmarkWriteIdleCSV)$$
-BENCH_GATE_PKGS = . ./internal/eventq ./internal/mem ./internal/trace
+BENCH_GATE_PAT  = ^(BenchmarkSimulatorThroughput|BenchmarkExtraction|BenchmarkSchedulePop|BenchmarkLRUTouch|BenchmarkWriteIdleCSV|BenchmarkSketchAdd)$$
+BENCH_GATE_PKGS = . ./internal/eventq ./internal/mem ./internal/trace ./internal/stats
 BENCH_NS_TOL    ?= 0.10
 BENCH_ALLOC_TOL ?= 0.10
 
@@ -16,7 +16,7 @@ BENCH_ALLOC_TOL ?= 0.10
 COVER_PKGS   = ./internal/machine ./internal/cpu ./internal/mem ./internal/disk
 COVER_FLOOR ?= 85
 
-.PHONY: all build vet test race verify bench bench-baseline bench-check cover doclint fuzz-smoke corpus-check repro quick examples clean
+.PHONY: all build vet test race verify bench bench-baseline bench-check cover doclint fuzz-smoke corpus-check campaign-check campaign-demo repro quick examples clean
 
 all: build verify
 
@@ -37,8 +37,9 @@ race:
 # Set LATLAB_SKIP_BENCH=1 to skip the benchmark gate (e.g. on loaded or
 # incomparable hardware), LATLAB_SKIP_COVER=1 to skip the coverage
 # floor, LATLAB_SKIP_FUZZ=1 to skip the fuzz smoke,
-# LATLAB_SKIP_DOCLINT=1 to skip the documentation lint, and
-# LATLAB_SKIP_CORPUS=1 to skip the scenario-corpus replay.
+# LATLAB_SKIP_DOCLINT=1 to skip the documentation lint,
+# LATLAB_SKIP_CORPUS=1 to skip the scenario-corpus replay, and
+# LATLAB_SKIP_CAMPAIGN=1 to skip the campaign-ledger replay.
 verify: vet race
 	@if [ -z "$$LATLAB_SKIP_DOCLINT" ]; then \
 		$(MAKE) --no-print-directory doclint; \
@@ -64,6 +65,11 @@ verify: vet race
 		$(MAKE) --no-print-directory corpus-check; \
 	else \
 		echo "corpus-check skipped (LATLAB_SKIP_CORPUS set)"; \
+	fi
+	@if [ -z "$$LATLAB_SKIP_CAMPAIGN" ]; then \
+		$(MAKE) --no-print-directory campaign-check; \
+	else \
+		echo "campaign-check skipped (LATLAB_SKIP_CAMPAIGN set)"; \
 	fi
 
 # Documentation gate: every internal package needs a package comment and
@@ -91,6 +97,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseMsgCSV$$' -fuzztime $(FUZZ_TIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzParseAttribCSV$$' -fuzztime $(FUZZ_TIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzScenarioParse$$' -fuzztime $(FUZZ_TIME) ./internal/scenario
+	$(GO) test -run '^$$' -fuzz '^FuzzParseLedger$$' -fuzztime $(FUZZ_TIME) ./internal/campaign
 
 # Replay the committed scenario corpus (testdata/scenarios/) through
 # the full CLI path and diff every rendering against its golden; also
@@ -99,6 +106,31 @@ fuzz-smoke:
 corpus-check:
 	$(GO) test -run '^(TestCorpusGolden|TestRunCorpus)$$' ./cmd/latbench
 	$(GO) test -run '^TestScenarioTwinsMatchGoRegistered$$' -short ./internal/experiments
+
+# Re-run the committed demo campaign (10080 quick sessions) at a
+# non-default worker count and require the ledger and the analyze
+# report to reproduce byte for byte — the end-to-end determinism gate
+# for the sharded engine, the sketches, and the analyzer.
+CAMPAIGN_DIR  = testdata/campaigns
+CAMPAIGN_JOBS ?= 3
+campaign-check:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/campaign run -spec $(CAMPAIGN_DIR)/demo.json \
+		-ledger $$tmp/demo-ledger.jsonl -quick -jobs $(CAMPAIGN_JOBS) && \
+	cmp $(CAMPAIGN_DIR)/demo-ledger.jsonl $$tmp/demo-ledger.jsonl && \
+	$(GO) run ./cmd/campaign analyze -ledger $$tmp/demo-ledger.jsonl \
+		-out $$tmp/demo-analyze.txt && \
+	cmp $(CAMPAIGN_DIR)/demo-analyze.txt $$tmp/demo-analyze.txt && \
+	echo "campaign-check: demo ledger and analyze reproduce byte-for-byte (-jobs $(CAMPAIGN_JOBS))"
+
+# Regenerate the committed demo campaign ledger and report after an
+# intentional behaviour change. Commit both files.
+campaign-demo:
+	rm -f $(CAMPAIGN_DIR)/demo-ledger.jsonl
+	$(GO) run ./cmd/campaign run -spec $(CAMPAIGN_DIR)/demo.json \
+		-ledger $(CAMPAIGN_DIR)/demo-ledger.jsonl -quick -jobs $(CAMPAIGN_JOBS)
+	$(GO) run ./cmd/campaign analyze -ledger $(CAMPAIGN_DIR)/demo-ledger.jsonl \
+		-out $(CAMPAIGN_DIR)/demo-analyze.txt
 
 # One benchmark per paper table/figure, plus ablations.
 bench:

@@ -12,6 +12,11 @@
 // Both gates default to a 10% tolerance, overridable per run. A check
 // against a baseline recorded on different hardware can disable the
 // ns/op gate with -skip-ns while keeping the allocation gate strict.
+//
+// Repeated lines of the same benchmark (a `-count > 1` run) fold into a
+// running mean, and each result records how many samples it averages in
+// its `samples` field — groundwork for confidence-interval gating; the
+// gates themselves still compare the means only.
 package main
 
 import (
@@ -28,13 +33,19 @@ import (
 	"time"
 )
 
-// Result is one benchmark's measured costs.
+// Result is one benchmark's measured costs. With `-count > 1` the
+// metrics are means over the repeated runs and Samples records how many
+// lines were folded — the groundwork for confidence-interval gating,
+// not yet used by the gates themselves.
 type Result struct {
 	Pkg         string  `json:"pkg,omitempty"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	Iterations  int64   `json:"iterations"`
+	// Samples is the number of benchmark lines folded into this result
+	// (1 for a plain -count=1 run; absent in pre-Samples baselines).
+	Samples int `json:"samples,omitempty"`
 }
 
 // Baseline is the recorded state of the benchmark suite.
@@ -217,9 +228,17 @@ func parseBenchOutput(r io.Reader) (*Baseline, error) {
 				return nil, err
 			}
 			if prev, dup := out.Benchmarks[name]; dup {
-				return nil, fmt.Errorf("duplicate benchmark %s (pkgs %s, %s): use -count=1 and unique names", name, prev.Pkg, pkg)
+				// Repeats of the same benchmark in the same package are a
+				// -count>1 run: fold them into a running mean. The same name
+				// in two packages is still ambiguous and still an error.
+				if prev.Pkg != pkg {
+					return nil, fmt.Errorf("duplicate benchmark %s (pkgs %s, %s): use unique names", name, prev.Pkg, pkg)
+				}
+				out.Benchmarks[name] = fold(prev, res)
+				break
 			}
 			res.Pkg = pkg
+			res.Samples = 1
 			out.Benchmarks[name] = res
 		}
 	}
@@ -227,6 +246,18 @@ func parseBenchOutput(r io.Reader) (*Baseline, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// fold merges a repeated benchmark line into the accumulated result:
+// metrics become running means over the samples, iterations sum.
+func fold(acc, next Result) Result {
+	n := float64(acc.Samples)
+	acc.NsPerOp = (acc.NsPerOp*n + next.NsPerOp) / (n + 1)
+	acc.BytesPerOp = (acc.BytesPerOp*n + next.BytesPerOp) / (n + 1)
+	acc.AllocsPerOp = (acc.AllocsPerOp*n + next.AllocsPerOp) / (n + 1)
+	acc.Iterations += next.Iterations
+	acc.Samples++
+	return acc
 }
 
 // parseBenchLine parses one result line, e.g.

@@ -42,6 +42,41 @@ func TestParseBenchOutput(t *testing.T) {
 	}
 }
 
+func TestParseBenchOutputFoldsRepeats(t *testing.T) {
+	// A -count=3 style run: the same benchmark three times in one
+	// package folds into a mean with Samples=3.
+	repeated := `pkg: latlab
+BenchmarkX-8	100	1000 ns/op	64 B/op	4 allocs/op
+BenchmarkX-8	200	2000 ns/op	64 B/op	6 allocs/op
+BenchmarkX-8	300	3000 ns/op	64 B/op	8 allocs/op
+`
+	base, err := parseBenchOutput(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := base.Benchmarks["BenchmarkX"]
+	if r.Samples != 3 || r.NsPerOp != 2000 || r.AllocsPerOp != 6 || r.Iterations != 600 {
+		t.Fatalf("folded result wrong: %+v", r)
+	}
+	// Single-sample results record Samples=1.
+	single, err := parseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := single.Benchmarks["BenchmarkExtraction"].Samples; s != 1 {
+		t.Fatalf("single run has Samples=%d, want 1", s)
+	}
+	// The same name across two packages is still ambiguous.
+	crossPkg := `pkg: latlab
+BenchmarkX-8	100	1000 ns/op	64 B/op	4 allocs/op
+pkg: latlab/internal/eventq
+BenchmarkX-8	100	1000 ns/op	64 B/op	4 allocs/op
+`
+	if _, err := parseBenchOutput(strings.NewReader(crossPkg)); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("cross-package duplicate must error, got %v", err)
+	}
+}
+
 func TestParseBenchLineErrors(t *testing.T) {
 	for _, line := range []string{
 		"BenchmarkX-8",

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// -update regenerates the golden files instead of comparing:
+//
+//	go test ./cmd/campaign -update
+var update = flag.Bool("update", false, "rewrite testdata/golden files from current output")
+
+// TestAnalyzeGolden locks the analyze report of the mini campaign byte
+// for byte: the KPI table, the ranking, and the suggested_next cells.
+// The engine is deterministic by construction, so any diff here is a
+// behaviour change in the simulator, the sketch, or the analyzer.
+func TestAnalyzeGolden(t *testing.T) {
+	ledger := filepath.Join(t.TempDir(), "ledger.jsonl")
+	runCLI(t, "run", "-spec", "testdata/mini.json", "-ledger", ledger, "-quick", "-jobs", "3")
+	report := runCLI(t, "analyze", "-ledger", ledger)
+
+	path := filepath.Join("testdata", "golden", "mini-analyze.txt")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(report), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./cmd/campaign -update`): %v", err)
+	}
+	if !bytes.Equal(want, []byte(report)) {
+		t.Fatalf("analyze output differs from %s (lens %d vs %d):\n%s",
+			path, len(want), len(report), firstDiff(want, []byte(report)))
+	}
+}
+
+// firstDiff renders the first divergent line of two byte slices so a
+// golden failure is actionable without an external diff tool.
+func firstDiff(want, got []byte) string {
+	wl := strings.Split(string(want), "\n")
+	gl := strings.Split(string(got), "\n")
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if wl[i] != gl[i] {
+			return "line " + strconv.Itoa(i+1) + ":\n  want: " + wl[i] + "\n  got:  " + gl[i]
+		}
+	}
+	return "line " + strconv.Itoa(n+1) + ": one output is a prefix of the other"
+}

@@ -1,0 +1,187 @@
+// Command campaign runs population-scale latency campaigns and
+// analyzes their ledgers.
+//
+// A campaign spec (see README "Campaigns") sweeps personas × machines ×
+// scenarios over a seed range; `campaign run` expands the cube into
+// cells, shards them across a worker pool, folds every session's event
+// latencies into streaming sketches, and appends one record per cell to
+// a JSONL ledger. The ledger — and everything derived from it — is
+// byte-identical for any -jobs value. `campaign analyze` replays a
+// ledger: it ranks configurations by tail latency and jitter, renders a
+// KPI table, and suggests refined follow-up cells.
+//
+// Usage:
+//
+//	campaign run -spec spec.json -ledger out.jsonl [-quick] [-jobs N] [-timeout D]
+//	campaign analyze -ledger out.jsonl [-out report.txt]
+//
+// run appends: an existing ledger is re-parsed first (so a corrupt or
+// truncated file is never extended) and new records land after the old
+// ones. analyze reads the whole ledger strictly and fails loudly on any
+// malformed record.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"latlab/internal/campaign"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run dispatches the subcommand; it is the testable entry point.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "run":
+		return runCampaign(args[1:], stdout, stderr)
+	case "analyze":
+		return runAnalyze(args[1:], stdout, stderr)
+	case "-h", "-help", "--help", "help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "campaign: unknown subcommand %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+}
+
+// usage prints the top-level help.
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage:
+  campaign run -spec spec.json -ledger out.jsonl [-quick] [-jobs N] [-timeout D]
+  campaign analyze -ledger out.jsonl [-out report.txt]
+
+run expands a campaign spec (personas x machines x scenarios x seeds)
+into cells, executes every seeded session, and appends one sketch
+record per cell to the JSONL ledger. The ledger is byte-identical for
+any -jobs value.
+
+analyze replays a ledger: merges each configuration's cells, ranks
+configurations by p95 (ties: p50, jitter), renders a KPI table, and
+suggests refined follow-up cells for the worst p99 and jitter.
+`)
+}
+
+// runCampaign implements `campaign run`.
+func runCampaign(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("campaign run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		specPath   = fs.String("spec", "", "campaign spec file (required)")
+		ledgerPath = fs.String("ledger", "", "JSONL ledger to append to (required)")
+		quick      = fs.Bool("quick", false, "trim workload sizes (for smoke runs)")
+		jobs       = fs.Int("jobs", runtime.NumCPU(), "run up to N cells concurrently")
+		timeout    = fs.Duration("timeout", 0, "per-cell timeout (0 = none)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *specPath == "" || *ledgerPath == "" {
+		fmt.Fprintln(stderr, "campaign run: -spec and -ledger are required")
+		return 2
+	}
+	c, err := campaign.LoadSpec(*specPath)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	// Refuse to extend a ledger we could not replay: append-only is only
+	// safe if what is already there is intact.
+	if existing, err := os.ReadFile(*ledgerPath); err == nil {
+		if _, err := campaign.ParseLedger(existing); err != nil {
+			fmt.Fprintf(stderr, "campaign run: existing ledger %s: %v\n", *ledgerPath, err)
+			return 1
+		}
+	} else if !os.IsNotExist(err) {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	f, err := os.OpenFile(*ledgerPath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	bw := bufio.NewWriter(f)
+	sum, runErr := campaign.Run(context.Background(), c,
+		campaign.Options{Jobs: *jobs, Quick: *quick, Timeout: *timeout},
+		func(r campaign.Record) error { return campaign.AppendRecord(bw, r) })
+	if err := bw.Flush(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if err := f.Close(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(stderr, runErr)
+		return 1
+	}
+	fmt.Fprintf(stdout, "campaign %s: %d cells, %d sessions, %d events -> %s\n",
+		c.Spec.ID, sum.Cells, sum.Sessions, sum.Events, *ledgerPath)
+	return 0
+}
+
+// runAnalyze implements `campaign analyze`.
+func runAnalyze(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("campaign analyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		ledgerPath = fs.String("ledger", "", "JSONL ledger to analyze (required)")
+		outPath    = fs.String("out", "", "write the report to this file instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *ledgerPath == "" {
+		fmt.Fprintln(stderr, "campaign analyze: -ledger is required")
+		return 2
+	}
+	data, err := os.ReadFile(*ledgerPath)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	records, err := campaign.ParseLedger(data)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	a, err := campaign.Analyze(records)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	w := io.Writer(stdout)
+	var f *os.File
+	if *outPath != "" {
+		f, err = os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		w = f
+	}
+	renderErr := a.Render(w)
+	if f != nil {
+		if err := f.Close(); err != nil && renderErr == nil {
+			renderErr = err
+		}
+	}
+	if renderErr != nil {
+		fmt.Fprintln(stderr, renderErr)
+		return 1
+	}
+	return 0
+}

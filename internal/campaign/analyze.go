@@ -1,0 +1,236 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"latlab/internal/stats"
+	"latlab/internal/viz"
+)
+
+// ConfigStats is one configuration's distribution, merged across every
+// cell (seed subrange) the ledger holds for it.
+type ConfigStats struct {
+	// Scenario, Persona, Machine name the configuration.
+	Scenario string
+	Persona  string
+	Machine  string
+	// Cells and Sessions count the ledger records and sessions merged.
+	Cells    int
+	Sessions int
+	// Sketch is the merged distribution; headline metrics read from it.
+	Sketch *stats.Sketch
+}
+
+// Key returns the configuration key, matching Record.Config.
+func (c ConfigStats) Key() string {
+	return c.Scenario + "/" + c.Persona + "/" + c.Machine
+}
+
+// NextCell is one suggested follow-up cell: a refined seed subrange of
+// a cell that showed the worst tail or variance, so the next campaign
+// can zoom where the distribution is ugliest.
+type NextCell struct {
+	// Reason says which ranking produced the suggestion ("p99" or
+	// "jitter").
+	Reason string `json:"reason"`
+	// Scenario, Persona, Machine name the configuration to re-sweep.
+	Scenario string `json:"scenario"`
+	Persona  string `json:"persona"`
+	Machine  string `json:"machine"`
+	// SeedStart and SeedCount delimit the refined subrange: one half of
+	// the source cell's range.
+	SeedStart uint64 `json:"seed_start"`
+	SeedCount int    `json:"seed_count"`
+}
+
+// Analysis is a replayed ledger: one merged ConfigStats per
+// configuration, ranked, plus the suggested follow-up cells.
+type Analysis struct {
+	// Campaign is the campaign id every record carried.
+	Campaign string
+	// Quick records the mode the ledger was produced in.
+	Quick bool
+	// Cells, Sessions, Events total the ledger.
+	Cells    int
+	Sessions int
+	Events   uint64
+	// Configs holds one entry per configuration, in ranked order: best
+	// p95 first, ties broken by p50, then jitter, then key.
+	Configs []ConfigStats
+	// SuggestedNext lists refined follow-up cells for the worst-tail
+	// and worst-jitter cells.
+	SuggestedNext []NextCell
+}
+
+// suggestPerRanking is how many worst cells each ranking (p99, jitter)
+// contributes suggestions for.
+const suggestPerRanking = 3
+
+// Analyze replays ledger records into per-configuration distributions.
+// Sketches merge in ledger order, so for a canonical ledger (expansion
+// order) the analysis is deterministic down to the float bits. All
+// records must come from one campaign and one mode.
+func Analyze(records []Record) (*Analysis, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("campaign: empty ledger")
+	}
+	a := &Analysis{Campaign: records[0].Campaign, Quick: records[0].Quick}
+	byKey := map[string]int{}
+	seen := map[string]bool{}
+	for _, r := range records {
+		if r.Campaign != a.Campaign {
+			return nil, fmt.Errorf("campaign: ledger mixes campaigns %q and %q", a.Campaign, r.Campaign)
+		}
+		if r.Quick != a.Quick {
+			return nil, fmt.Errorf("campaign: ledger mixes quick and full-size records")
+		}
+		if cell := r.Cell(); seen[cell] {
+			return nil, fmt.Errorf("campaign: duplicate ledger record for cell %s", cell)
+		} else {
+			seen[cell] = true
+		}
+		a.Cells++
+		a.Sessions += r.Sessions
+		a.Events += r.Sketch.Count()
+		key := r.Config()
+		i, ok := byKey[key]
+		if !ok {
+			i = len(a.Configs)
+			byKey[key] = i
+			a.Configs = append(a.Configs, ConfigStats{
+				Scenario: r.Scenario, Persona: r.Persona, Machine: r.Machine,
+				Sketch: stats.NewSketch(r.Sketch.Alpha()),
+			})
+		}
+		c := &a.Configs[i]
+		if err := c.Sketch.Merge(r.Sketch); err != nil {
+			return nil, fmt.Errorf("campaign: config %s: %w", key, err)
+		}
+		c.Cells++
+		c.Sessions += r.Sessions
+	}
+	// Rank configurations: best p95 first. The paper's argument is that
+	// tails, not means, decide interactive feel, so the headline order
+	// follows the tail.
+	sort.SliceStable(a.Configs, func(i, j int) bool {
+		ci, cj := a.Configs[i], a.Configs[j]
+		pi, pj := ci.Sketch.Quantile(0.95), cj.Sketch.Quantile(0.95)
+		if pi != pj {
+			return pi < pj
+		}
+		mi, mj := ci.Sketch.Quantile(0.5), cj.Sketch.Quantile(0.5)
+		if mi != mj {
+			return mi < mj
+		}
+		si, sj := ci.Sketch.StdDev(), cj.Sketch.StdDev()
+		if si != sj {
+			return si < sj
+		}
+		return ci.Key() < cj.Key()
+	})
+	a.SuggestedNext = suggestNext(records)
+	return a, nil
+}
+
+// suggestNext picks the worst cells by p99 and by jitter and splits
+// each one's seed range in half: refined cells for the next sweep.
+// Ties break by cell id, so suggestions are deterministic.
+func suggestNext(records []Record) []NextCell {
+	worst := func(metric func(Record) float64) []Record {
+		idx := make([]int, len(records))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(i, j int) bool {
+			mi, mj := metric(records[idx[i]]), metric(records[idx[j]])
+			if mi != mj {
+				return mi > mj
+			}
+			return records[idx[i]].Cell() < records[idx[j]].Cell()
+		})
+		n := suggestPerRanking
+		if n > len(idx) {
+			n = len(idx)
+		}
+		out := make([]Record, n)
+		for i := 0; i < n; i++ {
+			out[i] = records[idx[i]]
+		}
+		return out
+	}
+	var next []NextCell
+	seen := map[string]bool{}
+	add := func(reason string, recs []Record) {
+		for _, r := range recs {
+			if seen[r.Cell()] {
+				continue
+			}
+			seen[r.Cell()] = true
+			half := r.SeedCount / 2
+			if half == 0 {
+				// A one-seed cell cannot refine further; re-suggest it whole.
+				next = append(next, NextCell{
+					Reason: reason, Scenario: r.Scenario, Persona: r.Persona, Machine: r.Machine,
+					SeedStart: r.SeedStart, SeedCount: r.SeedCount,
+				})
+				continue
+			}
+			next = append(next,
+				NextCell{
+					Reason: reason, Scenario: r.Scenario, Persona: r.Persona, Machine: r.Machine,
+					SeedStart: r.SeedStart, SeedCount: half,
+				},
+				NextCell{
+					Reason: reason, Scenario: r.Scenario, Persona: r.Persona, Machine: r.Machine,
+					SeedStart: r.SeedStart + uint64(half), SeedCount: r.SeedCount - half,
+				})
+		}
+	}
+	add("p99", worst(func(r Record) float64 { return r.P99Ms }))
+	add("jitter", worst(func(r Record) float64 { return r.JitterMs }))
+	return next
+}
+
+// Render writes the analyze report: campaign totals, the ranked KPI
+// table, and the suggested follow-up cells as JSON lines. The output
+// is deterministic for a given ledger.
+func (a *Analysis) Render(w io.Writer) error {
+	mode := "full-size"
+	if a.Quick {
+		mode = "quick"
+	}
+	fmt.Fprintf(w, "Campaign %s — %d configurations, %d cells, %d sessions, %d events (%s)\n\n",
+		a.Campaign, len(a.Configs), a.Cells, a.Sessions, a.Events, mode)
+	header := []string{"config", "sessions", "events", "p50", "p95", "p99", "max", "mean", "jitter"}
+	rows := make([][]string, len(a.Configs))
+	for i, c := range a.Configs {
+		sk := c.Sketch
+		rows[i] = []string{
+			c.Key(),
+			fmt.Sprintf("%d", c.Sessions),
+			fmt.Sprintf("%d", sk.Count()),
+			fmtCellMs(sk.Quantile(0.50)),
+			fmtCellMs(sk.Quantile(0.95)),
+			fmtCellMs(sk.Quantile(0.99)),
+			fmtCellMs(sk.Max()),
+			fmtCellMs(sk.Mean()),
+			// Jitter runs orders of magnitude below the latencies
+			// themselves, so it gets an extra decimal place.
+			fmt.Sprintf("%.3fms", sk.StdDev()),
+		}
+	}
+	if err := viz.KPITable(w, "  ", header, rows); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nsuggested_next (%d cells):\n", len(a.SuggestedNext))
+	for _, n := range a.SuggestedNext {
+		fmt.Fprintf(w, "  {\"reason\":%q,\"scenario\":%q,\"persona\":%q,\"machine\":%q,\"seed_start\":%d,\"seed_count\":%d}\n",
+			n.Reason, n.Scenario, n.Persona, n.Machine, n.SeedStart, n.SeedCount)
+	}
+	return nil
+}
+
+// fmtCellMs renders a millisecond KPI cell.
+func fmtCellMs(ms float64) string { return fmt.Sprintf("%.2fms", ms) }

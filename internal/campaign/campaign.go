@@ -1,0 +1,212 @@
+// Package campaign turns single latbench runs into population-scale
+// latency surfaces: a campaign spec expands a persona × machine ×
+// scenario × seed cube into thousands-to-millions of seeded sessions,
+// shards them across workers on top of internal/runner, and folds each
+// session's event latencies into mergeable streaming sketches
+// (stats.Sketch), so memory stays flat at any population size — the
+// product is a distribution per configuration, never a retained sample
+// set.
+//
+// Results persist to an append-only, schema-versioned JSONL ledger
+// (one Record per cell: configuration, seed range, sketch
+// serialization, p50/p95/p99, jitter) that Analyze replays to rank
+// configurations and propose refined follow-up cells. cmd/campaign is
+// the CLI (`campaign run`, `campaign analyze`).
+//
+// Determinism contract: a campaign's ledger — and therefore its
+// analysis — is byte-identical for a given spec, mode, and seed range
+// regardless of the worker count. Cells are the sharding unit, each
+// cell folds its sessions sequentially in seed order, and records are
+// emitted in cell-expansion order through the runner's reorder buffer,
+// so no float ever crosses a scheduling boundary.
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"latlab/internal/machine"
+	"latlab/internal/persona"
+	"latlab/internal/scenario"
+)
+
+// SpecSchemaVersion is the campaign-spec schema this package parses.
+// Specs must declare it explicitly, like scenario documents.
+const SpecSchemaVersion = 1
+
+// Spec is one parsed campaign specification: the axes of the sweep
+// cube and the seed range every configuration is swept over.
+type Spec struct {
+	// Schema is the spec schema version; must be SpecSchemaVersion.
+	Schema int `json:"schema"`
+	// ID is the campaign id (slug), recorded in every ledger record.
+	ID string `json:"id"`
+	// Title is the one-line description shown by analyze.
+	Title string `json:"title"`
+	// Personas lists the OS personality short names to sweep.
+	Personas []string `json:"personas"`
+	// Machines lists the hardware-profile short names to sweep.
+	Machines []string `json:"machines"`
+	// Scenarios lists scenario-document paths, relative to the spec
+	// file. Each must be a single-run document (no compare rows); its
+	// persona, machine, and seed are overridden per cell.
+	Scenarios []string `json:"scenarios"`
+	// Seeds is the seed range swept per configuration and its cell
+	// granularity.
+	Seeds SeedBlock `json:"seeds"`
+	// Notes is free-form provenance.
+	Notes string `json:"notes,omitempty"`
+}
+
+// SeedBlock sizes the seed axis of the cube.
+type SeedBlock struct {
+	// Start is the first session seed (>= 1; seed 0 means "inherit" in
+	// scenario documents, so it cannot name a session).
+	Start uint64 `json:"start"`
+	// Count is the number of consecutive seeds swept per configuration.
+	Count int `json:"count"`
+	// PerCell is the cell granularity: each configuration's seed range
+	// is chunked into cells of this many seeds (the last cell may be
+	// smaller). Cells are the sharding and ledger unit.
+	PerCell int `json:"per_cell"`
+}
+
+// Sessions returns the total session count of the cube.
+func (s Spec) Sessions() int {
+	return len(s.Scenarios) * len(s.Personas) * len(s.Machines) * s.Seeds.Count
+}
+
+// specIDPattern mirrors the scenario slug grammar.
+var specIDPattern = regexp.MustCompile(`^[a-z0-9][a-z0-9-]*$`)
+
+// Validate checks the spec against the grammar, phrasing each error
+// with the valid alternatives so a hand-written spec is fixable from
+// the message alone.
+func (s Spec) Validate() error {
+	if s.Schema != SpecSchemaVersion {
+		return fmt.Errorf("campaign: schema %d not supported (want %d)", s.Schema, SpecSchemaVersion)
+	}
+	if !specIDPattern.MatchString(s.ID) {
+		return fmt.Errorf("campaign: id %q is not a slug (lowercase letters, digits, dashes)", s.ID)
+	}
+	if s.Title == "" {
+		return fmt.Errorf("campaign %s: missing title", s.ID)
+	}
+	if len(s.Personas) == 0 {
+		return fmt.Errorf("campaign %s: no personas", s.ID)
+	}
+	seen := map[string]bool{}
+	for _, p := range s.Personas {
+		if _, ok := persona.ByShort(p); !ok {
+			return fmt.Errorf("campaign %s: unknown persona %q (valid: %s)",
+				s.ID, p, strings.Join(personaShorts(), ", "))
+		}
+		if seen["p:"+p] {
+			return fmt.Errorf("campaign %s: duplicate persona %q", s.ID, p)
+		}
+		seen["p:"+p] = true
+	}
+	if len(s.Machines) == 0 {
+		return fmt.Errorf("campaign %s: no machines", s.ID)
+	}
+	for _, m := range s.Machines {
+		if _, ok := machine.ByShort(m); !ok {
+			return fmt.Errorf("campaign %s: unknown machine %q (valid: %s)",
+				s.ID, m, strings.Join(machine.Shorts(), ", "))
+		}
+		if seen["m:"+m] {
+			return fmt.Errorf("campaign %s: duplicate machine %q", s.ID, m)
+		}
+		seen["m:"+m] = true
+	}
+	if len(s.Scenarios) == 0 {
+		return fmt.Errorf("campaign %s: no scenarios", s.ID)
+	}
+	if s.Seeds.Start < 1 {
+		return fmt.Errorf("campaign %s: seeds.start must be >= 1 (seed 0 means \"inherit\" in scenario documents)", s.ID)
+	}
+	if s.Seeds.Count < 1 {
+		return fmt.Errorf("campaign %s: seeds.count must be positive", s.ID)
+	}
+	if s.Seeds.PerCell < 1 || s.Seeds.PerCell > s.Seeds.Count {
+		return fmt.Errorf("campaign %s: seeds.per_cell must be in [1, seeds.count]", s.ID)
+	}
+	return nil
+}
+
+// personaShorts lists the valid persona short names.
+func personaShorts() []string {
+	var out []string
+	for _, p := range persona.All() {
+		out = append(out, p.Short)
+	}
+	return out
+}
+
+// ParseSpec decodes and validates a campaign spec. Decoding is strict:
+// unknown fields and trailing data are errors, mirroring
+// scenario.Parse.
+func ParseSpec(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("campaign: %w", err)
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err == nil || len(trailing) > 0 {
+		return Spec{}, fmt.Errorf("campaign: trailing data after spec")
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// Campaign is a loaded spec with its scenario templates resolved: the
+// runnable form Run consumes.
+type Campaign struct {
+	Spec Spec
+	// Docs holds the parsed scenario templates, parallel to
+	// Spec.Scenarios.
+	Docs []scenario.Doc
+}
+
+// LoadSpec reads the campaign spec at path and resolves its scenario
+// documents (relative to the spec file). Each template must be a
+// single-run scenario — a campaign measures one distribution per
+// configuration, so compare rows are rejected — and template ids must
+// be unique, since they name configurations in the ledger.
+func LoadSpec(path string) (*Campaign, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	spec, err := ParseSpec(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	c := &Campaign{Spec: spec}
+	dir := filepath.Dir(path)
+	ids := map[string]bool{}
+	for _, rel := range spec.Scenarios {
+		doc, err := scenario.ParseFile(filepath.Join(dir, rel))
+		if err != nil {
+			return nil, err
+		}
+		if len(doc.Compare) > 0 {
+			return nil, fmt.Errorf("campaign %s: scenario %s has compare rows; campaigns need single-run documents", spec.ID, doc.ID)
+		}
+		if ids[doc.ID] {
+			return nil, fmt.Errorf("campaign %s: duplicate scenario id %q", spec.ID, doc.ID)
+		}
+		ids[doc.ID] = true
+		c.Docs = append(c.Docs, doc)
+	}
+	return c, nil
+}

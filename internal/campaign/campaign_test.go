@@ -1,0 +1,164 @@
+package campaign
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// writeFile writes a test fixture, failing the test on error.
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// validSpecJSON is a minimal valid spec the mutation tests start from.
+const validSpecJSON = `{
+  "schema": 1,
+  "id": "demo",
+  "title": "t",
+  "personas": ["nt40"],
+  "machines": ["p100"],
+  "scenarios": ["s.json"],
+  "seeds": {"start": 1, "count": 10, "per_cell": 4}
+}`
+
+func TestParseSpecValid(t *testing.T) {
+	s, err := ParseSpec([]byte(validSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID != "demo" || s.Sessions() != 10 {
+		t.Errorf("parsed spec = %+v", s)
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string
+	}{
+		{"unknown field", `{"schema":1,"id":"a","title":"t","bogus":1,"personas":["nt40"],"machines":["p100"],"scenarios":["s.json"],"seeds":{"start":1,"count":1,"per_cell":1}}`, "bogus"},
+		{"bad schema", strings.Replace(validSpecJSON, `"schema": 1`, `"schema": 9`, 1), "schema"},
+		{"bad id", strings.Replace(validSpecJSON, `"id": "demo"`, `"id": "Demo!"`, 1), "slug"},
+		{"no title", strings.Replace(validSpecJSON, `"title": "t"`, `"title": ""`, 1), "title"},
+		{"unknown persona", strings.Replace(validSpecJSON, `"personas": ["nt40"]`, `"personas": ["dos"]`, 1), "persona"},
+		{"dup persona", strings.Replace(validSpecJSON, `"personas": ["nt40"]`, `"personas": ["nt40", "nt40"]`, 1), "duplicate persona"},
+		{"unknown machine", strings.Replace(validSpecJSON, `"machines": ["p100"]`, `"machines": ["cray"]`, 1), "machine"},
+		{"dup machine", strings.Replace(validSpecJSON, `"machines": ["p100"]`, `"machines": ["p100", "p100"]`, 1), "duplicate machine"},
+		{"no scenarios", strings.Replace(validSpecJSON, `"scenarios": ["s.json"]`, `"scenarios": []`, 1), "scenario"},
+		{"seed zero", strings.Replace(validSpecJSON, `"start": 1`, `"start": 0`, 1), "seeds.start"},
+		{"zero count", strings.Replace(validSpecJSON, `"count": 10`, `"count": 0`, 1), "seeds.count"},
+		{"per_cell over count", strings.Replace(validSpecJSON, `"per_cell": 4`, `"per_cell": 11`, 1), "per_cell"},
+		{"trailing data", validSpecJSON + `{"more": 1}`, "trailing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec([]byte(tc.json))
+			if err == nil {
+				t.Fatalf("want error mentioning %q, got nil", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLoadSpecResolvesScenarios(t *testing.T) {
+	c, err := LoadSpec("testdata/mini.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Docs) != 1 || c.Docs[0].ID != "tiny-type" {
+		t.Fatalf("docs = %+v", c.Docs)
+	}
+}
+
+func TestCellsExpansion(t *testing.T) {
+	c, err := LoadSpec("testdata/mini.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := Cells(c)
+	// 1 scenario x 2 personas x 1 machine x ceil(24/6)=4 chunks.
+	if len(cells) != 8 {
+		t.Fatalf("got %d cells, want 8", len(cells))
+	}
+	wantFirst := "tiny-type/nt40/p100/1+6"
+	if cells[0].ID() != wantFirst {
+		t.Errorf("first cell %s, want %s", cells[0].ID(), wantFirst)
+	}
+	// Expansion order: all nt40 chunks before any w95 chunk; ascending
+	// seed chunks within a configuration; indexes sequential.
+	seenW95 := false
+	var prevStart uint64
+	for i, cell := range cells {
+		if cell.Index != i {
+			t.Errorf("cell %d has index %d", i, cell.Index)
+		}
+		if cell.Persona == "w95" {
+			seenW95 = true
+			continue
+		}
+		if seenW95 {
+			t.Fatalf("nt40 cell after w95 at %d", i)
+		}
+		if cell.SeedStart <= prevStart {
+			t.Errorf("seed chunks not ascending at cell %d", i)
+		}
+		prevStart = cell.SeedStart
+	}
+	// Seeds tile the range exactly.
+	total := 0
+	for _, cell := range cells {
+		total += cell.SeedCount
+		if cell.Doc.Seed != 0 {
+			t.Errorf("cell %s doc pins seed %d", cell.ID(), cell.Doc.Seed)
+		}
+		if cell.Doc.Persona != cell.Persona || cell.Doc.Machine != cell.Machine {
+			t.Errorf("cell %s doc not re-pointed: %s/%s", cell.ID(), cell.Doc.Persona, cell.Doc.Machine)
+		}
+	}
+	if total != 2*24 {
+		t.Errorf("cells cover %d seeds, want 48", total)
+	}
+}
+
+func TestLoadSpecRejectsCompareDocs(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir+"/cmp.json", `{
+  "schema": 1, "id": "cmp", "title": "t", "paper": "p", "persona": "nt40",
+  "workload": {"kind": "typing", "full": {"chars": 8}},
+  "compare": [{"label": "clean", "faulted": false}]
+}`)
+	writeFile(t, dir+"/spec.json", `{
+  "schema": 1, "id": "c", "title": "t",
+  "personas": ["nt40"], "machines": ["p100"], "scenarios": ["cmp.json"],
+  "seeds": {"start": 1, "count": 1, "per_cell": 1}
+}`)
+	if _, err := LoadSpec(dir + "/spec.json"); err == nil || !strings.Contains(err.Error(), "compare") {
+		t.Fatalf("want compare-row rejection, got %v", err)
+	}
+}
+
+func TestLoadSpecRejectsDuplicateScenarioIDs(t *testing.T) {
+	dir := t.TempDir()
+	doc := `{
+  "schema": 1, "id": "same", "title": "t", "paper": "p", "persona": "nt40",
+  "workload": {"kind": "typing", "full": {"chars": 8}}
+}`
+	writeFile(t, dir+"/a.json", doc)
+	writeFile(t, dir+"/b.json", doc)
+	writeFile(t, dir+"/spec.json", `{
+  "schema": 1, "id": "c", "title": "t",
+  "personas": ["nt40"], "machines": ["p100"], "scenarios": ["a.json", "b.json"],
+  "seeds": {"start": 1, "count": 1, "per_cell": 1}
+}`)
+	if _, err := LoadSpec(dir + "/spec.json"); err == nil || !strings.Contains(err.Error(), "duplicate scenario") {
+		t.Fatalf("want duplicate-id rejection, got %v", err)
+	}
+}

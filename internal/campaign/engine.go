@@ -1,0 +1,223 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"latlab/internal/experiments"
+	"latlab/internal/runner"
+	"latlab/internal/scenario"
+	"latlab/internal/stats"
+)
+
+// Options tunes a campaign run.
+type Options struct {
+	// Jobs is the worker-pool size handed to the runner; <=0 means one
+	// worker per CPU. The ledger bytes are identical for every value.
+	Jobs int
+	// Quick selects the quick workload parameter set for every session,
+	// exactly like latbench -quick.
+	Quick bool
+	// Timeout bounds each cell's wall time; 0 means no limit.
+	Timeout time.Duration
+	// Alpha is the sketch relative accuracy; 0 means
+	// stats.DefaultSketchAlpha.
+	Alpha float64
+}
+
+// Cell is one unit of campaign work: a single configuration swept over
+// a contiguous seed subrange. Cells are what the runner shards, so
+// every float inside a cell folds on one goroutine, in seed order.
+type Cell struct {
+	// Index is the cell's position in expansion order (ledger order).
+	Index int
+	// Doc is the scenario template, already re-pointed at the cell's
+	// persona and machine, with Seed cleared so the per-session seed
+	// flows from the run config.
+	Doc scenario.Doc
+	// Scenario, Persona, Machine name the configuration.
+	Scenario string
+	Persona  string
+	Machine  string
+	// SeedStart and SeedCount delimit the seed subrange.
+	SeedStart uint64
+	SeedCount int
+}
+
+// ID returns the cell id used in ledger records and error messages.
+func (c Cell) ID() string {
+	return fmt.Sprintf("%s/%s/%s/%d+%d", c.Scenario, c.Persona, c.Machine, c.SeedStart, c.SeedCount)
+}
+
+// Cells expands the campaign cube into cells in canonical order:
+// scenario-major, then persona, then machine, then ascending seed
+// chunks — the order records appear in the ledger.
+func Cells(c *Campaign) []Cell {
+	var out []Cell
+	for si, doc := range c.Docs {
+		for _, p := range c.Spec.Personas {
+			for _, m := range c.Spec.Machines {
+				start := c.Spec.Seeds.Start
+				remaining := c.Spec.Seeds.Count
+				for remaining > 0 {
+					n := c.Spec.Seeds.PerCell
+					if n > remaining {
+						n = remaining
+					}
+					d := c.Docs[si]
+					d.Persona = p
+					d.Machine = m
+					d.Seed = 0
+					out = append(out, Cell{
+						Index:     len(out),
+						Doc:       d,
+						Scenario:  doc.ID,
+						Persona:   p,
+						Machine:   m,
+						SeedStart: start,
+						SeedCount: n,
+					})
+					start += uint64(n)
+					remaining -= n
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Summary totals a completed campaign run.
+type Summary struct {
+	// Cells is the number of ledger records emitted.
+	Cells int
+	// Sessions is the number of seeded sessions executed.
+	Sessions int
+	// Events is the number of event latencies folded into sketches.
+	Events uint64
+}
+
+// cellResult carries a finished cell's ledger record through the
+// runner's reorder buffer. It is the experiments.Result of the
+// synthetic per-cell spec.
+type cellResult struct {
+	id  string
+	rec Record
+}
+
+// ExperimentID implements experiments.Result.
+func (r *cellResult) ExperimentID() string { return r.id }
+
+// Render implements experiments.Result with the record's headline.
+func (r *cellResult) Render(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "cell %s: %d sessions, %d events, p99 %.2fms\n",
+		r.id, r.rec.Sessions, r.rec.Events, r.rec.P99Ms)
+	return err
+}
+
+// Run executes the campaign: cells shard across the runner's worker
+// pool, each cell folds its sessions sequentially in seed order into a
+// fresh sketch, and emit receives one Record per cell in expansion
+// order (the runner's reorder buffer restores it whatever the worker
+// count). Any failed session aborts the run — a partial cell must
+// never reach the ledger. If emit returns an error the run stops and
+// that error is returned.
+func Run(ctx context.Context, c *Campaign, opt Options, emit func(Record) error) (Summary, error) {
+	alpha := opt.Alpha
+	if alpha == 0 {
+		alpha = stats.DefaultSketchAlpha
+	}
+	cells := Cells(c)
+	specs := make([]experiments.Spec, len(cells))
+	for i, cell := range cells {
+		specs[i] = cellSpec(c.Spec.ID, cell, alpha, opt.Quick)
+	}
+	var sum Summary
+	_, err := runner.Run(ctx, specs,
+		runner.Options{
+			Jobs:    opt.Jobs,
+			Timeout: opt.Timeout,
+			// Retries must stay 0: a retry perturbs the seed, and a
+			// perturbed seed breaks the ledger's determinism contract.
+			Retries: 0,
+			Config:  experiments.Config{Quick: opt.Quick},
+		},
+		func(out runner.Outcome) error {
+			if out.Record.Failed() {
+				return fmt.Errorf("campaign %s: cell %s failed: %s", c.Spec.ID, out.Spec.ID, out.Record.Error)
+			}
+			res := out.Result.(*cellResult)
+			sum.Cells++
+			sum.Sessions += res.rec.Sessions
+			sum.Events += res.rec.Events
+			return emit(res.rec)
+		})
+	return sum, err
+}
+
+// cellSpec wraps one cell as a synthetic experiments.Spec so the
+// runner can schedule it like any other experiment.
+func cellSpec(campaignID string, cell Cell, alpha float64, quick bool) experiments.Spec {
+	return experiments.Spec{
+		ID:    cell.ID(),
+		Title: fmt.Sprintf("campaign %s cell %s", campaignID, cell.ID()),
+		Run: func(ctx context.Context, _ experiments.Config) (experiments.Result, error) {
+			rec, err := runCell(ctx, campaignID, cell, alpha, quick)
+			if err != nil {
+				return nil, err
+			}
+			return &cellResult{id: cell.ID(), rec: rec}, nil
+		},
+	}
+}
+
+// runCell executes a cell's sessions sequentially in seed order,
+// folding every event latency into one sketch and returning the
+// finished ledger record. Each session's result is discarded after
+// folding, so memory stays flat at any population size.
+func runCell(ctx context.Context, campaignID string, cell Cell, alpha float64, quick bool) (Record, error) {
+	spec, err := experiments.FromScenario(cell.Doc)
+	if err != nil {
+		return Record{}, err
+	}
+	sk := stats.NewSketch(alpha)
+	sessions := 0
+	for i := 0; i < cell.SeedCount; i++ {
+		if err := ctx.Err(); err != nil {
+			return Record{}, err
+		}
+		seed := cell.SeedStart + uint64(i)
+		res, err := spec.Run(ctx, experiments.Config{Seed: seed, Quick: quick})
+		if err != nil {
+			return Record{}, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		sr, ok := res.(*experiments.ScenarioResult)
+		if !ok {
+			return Record{}, fmt.Errorf("seed %d: unexpected result type %T", seed, res)
+		}
+		for _, ms := range sr.Row.Report.Latencies() {
+			sk.Add(ms)
+		}
+		sessions++
+	}
+	return Record{
+		Schema:    RecordSchemaVersion,
+		Campaign:  campaignID,
+		Scenario:  cell.Scenario,
+		Persona:   cell.Persona,
+		Machine:   cell.Machine,
+		SeedStart: cell.SeedStart,
+		SeedCount: cell.SeedCount,
+		Quick:     quick,
+		Sessions:  sessions,
+		Events:    sk.Count(),
+		P50Ms:     sk.Quantile(0.50),
+		P95Ms:     sk.Quantile(0.95),
+		P99Ms:     sk.Quantile(0.99),
+		MaxMs:     sk.Max(),
+		MeanMs:    sk.Mean(),
+		JitterMs:  sk.StdDev(),
+		Sketch:    sk,
+	}, nil
+}

@@ -1,0 +1,174 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"latlab/internal/stats"
+)
+
+// RecordSchemaVersion is the ledger-record schema. Every record
+// declares it, so a ledger written by a future incompatible engine is
+// detected instead of misread.
+const RecordSchemaVersion = 1
+
+// Record is one ledger line: the folded latency distribution of one
+// cell (a configuration × seed subrange). Per-event samples are gone
+// by the time a record exists — the sketch is the distribution.
+type Record struct {
+	// Schema is the record schema version; must be RecordSchemaVersion.
+	Schema int `json:"schema"`
+	// Campaign is the spec id the cell belongs to.
+	Campaign string `json:"campaign"`
+	// Scenario, Persona, Machine name the cell's configuration.
+	Scenario string `json:"scenario"`
+	Persona  string `json:"persona"`
+	Machine  string `json:"machine"`
+	// SeedStart and SeedCount delimit the cell's contiguous seed range.
+	SeedStart uint64 `json:"seed_start"`
+	SeedCount int    `json:"seed_count"`
+	// Quick records whether the cell ran -quick workload sizing.
+	Quick bool `json:"quick,omitempty"`
+	// Sessions is the number of sessions folded (== SeedCount on a
+	// completed cell); Events the number of event latencies folded.
+	Sessions int    `json:"sessions"`
+	Events   uint64 `json:"events"`
+	// Headline quantiles and jitter (ms), precomputed from the sketch
+	// so a ledger is grep-able without re-deriving.
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MaxMs    float64 `json:"max_ms"`
+	MeanMs   float64 `json:"mean_ms"`
+	JitterMs float64 `json:"jitter_ms"`
+	// Sketch is the cell's full latency distribution, mergeable across
+	// cells.
+	Sketch *stats.Sketch `json:"sketch"`
+}
+
+// Config returns the record's configuration key: the cube coordinates
+// minus the seed axis.
+func (r Record) Config() string {
+	return r.Scenario + "/" + r.Persona + "/" + r.Machine
+}
+
+// Cell returns the record's full cell id, unique within a campaign.
+func (r Record) Cell() string {
+	return fmt.Sprintf("%s/%d+%d", r.Config(), r.SeedStart, r.SeedCount)
+}
+
+// Validate checks a parsed record's invariants beyond JSON
+// well-formedness, so a corrupted or hand-edited ledger fails loudly.
+func (r Record) Validate() error {
+	if r.Schema != RecordSchemaVersion {
+		return fmt.Errorf("campaign: record schema %d not supported (want %d)", r.Schema, RecordSchemaVersion)
+	}
+	if r.Campaign == "" || r.Scenario == "" || r.Persona == "" || r.Machine == "" {
+		return fmt.Errorf("campaign: record %s missing configuration fields", r.Cell())
+	}
+	if r.SeedStart < 1 || r.SeedCount < 1 {
+		return fmt.Errorf("campaign: record %s has a malformed seed range", r.Cell())
+	}
+	if r.Sessions < 0 || r.Sessions > r.SeedCount {
+		return fmt.Errorf("campaign: record %s sessions %d outside seed range", r.Cell(), r.Sessions)
+	}
+	if r.Sketch == nil {
+		return fmt.Errorf("campaign: record %s has no sketch", r.Cell())
+	}
+	if r.Sketch.Count() != r.Events {
+		return fmt.Errorf("campaign: record %s events %d do not match sketch count %d",
+			r.Cell(), r.Events, r.Sketch.Count())
+	}
+	for name, v := range map[string]float64{
+		"p50_ms": r.P50Ms, "p95_ms": r.P95Ms, "p99_ms": r.P99Ms,
+		"max_ms": r.MaxMs, "mean_ms": r.MeanMs, "jitter_ms": r.JitterMs,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("campaign: record %s has invalid %s", r.Cell(), name)
+		}
+	}
+	return nil
+}
+
+// MarshalRecord renders r as one canonical ledger line (compact JSON
+// plus newline). Field order is fixed by the struct, floats use Go's
+// shortest-round-trip formatting, so the bytes are deterministic.
+func MarshalRecord(r Record) ([]byte, error) {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// AppendRecord writes r to w as one ledger line.
+func AppendRecord(w io.Writer, r Record) error {
+	data, err := MarshalRecord(r)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// ParseLedger parses an entire JSONL ledger strictly: every line must
+// be a complete, schema-valid record with no unknown fields, in
+// canonical form (re-marshaling it reproduces the line byte for byte),
+// and a final line without its newline is rejected as a truncated
+// record (an interrupted append must not pass as a shorter, valid
+// ledger). An empty ledger parses to no records.
+func ParseLedger(data []byte) ([]Record, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	if data[len(data)-1] != '\n' {
+		return nil, fmt.Errorf("campaign: ledger ends mid-record (truncated append?)")
+	}
+	var out []Record
+	line := 0
+	for len(data) > 0 {
+		line++
+		nl := bytes.IndexByte(data, '\n')
+		raw := data[:nl]
+		data = data[nl+1:]
+		if len(bytes.TrimSpace(raw)) == 0 {
+			return nil, fmt.Errorf("campaign: ledger line %d is blank", line)
+		}
+		rec, err := parseRecord(raw)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: ledger line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// parseRecord decodes one ledger line strictly and checks it is in
+// canonical form: the ledger is append-only and byte-deterministic, so
+// a line the engine could not have written is corruption, not style.
+func parseRecord(raw []byte) (Record, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var rec Record
+	if err := dec.Decode(&rec); err != nil {
+		return Record{}, err
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err == nil || len(trailing) > 0 {
+		return Record{}, fmt.Errorf("trailing data after record")
+	}
+	if err := rec.Validate(); err != nil {
+		return Record{}, err
+	}
+	canon, err := json.Marshal(rec)
+	if err != nil {
+		return Record{}, err
+	}
+	if !bytes.Equal(canon, raw) {
+		return Record{}, fmt.Errorf("record is not in canonical form")
+	}
+	return rec, nil
+}

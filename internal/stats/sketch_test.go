@@ -1,0 +1,351 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sort"
+	"testing"
+
+	"latlab/internal/rng"
+)
+
+// The sketch backs the campaign ledger, so its contract is proved as
+// properties over adversarial distributions rather than spot values:
+//
+//   1. every quantile estimate is within the documented relative error
+//      of the exact sorted-sample quantile at the same rank;
+//   2. Merge is order-invariant byte-for-byte;
+//   3. bucket counts — hence quantiles — are exactly invariant under
+//      any sharding of the input, and the moments match the whole-
+//      stream fold to floating-point rounding.
+
+// distribution is one adversarial sample generator.
+type distribution struct {
+	name string
+	gen  func(r *rng.Source) float64
+}
+
+// distributions returns the adversarial set: uniform, bimodal,
+// heavy-tail (Pareto), constant, and a spiky mix that exercises the
+// zero bucket.
+func distributions() []distribution {
+	return []distribution{
+		{"uniform", func(r *rng.Source) float64 { return r.Uniform(0.1, 1000) }},
+		{"bimodal", func(r *rng.Source) float64 {
+			if r.Float64() < 0.5 {
+				return r.Uniform(1, 2)
+			}
+			return r.Uniform(900, 1100)
+		}},
+		{"heavy-tail", func(r *rng.Source) float64 {
+			// Pareto with shape 1.1: the tail dominates, like stalled-event
+			// latency distributions.
+			return 5 / math.Pow(1-r.Float64(), 1/1.1)
+		}},
+		{"constant", func(r *rng.Source) float64 { return 42.0 }},
+		{"zero-spike", func(r *rng.Source) float64 {
+			if r.Float64() < 0.3 {
+				return 0
+			}
+			return r.Uniform(0.5, 50)
+		}},
+	}
+}
+
+// samplesFor draws n samples of d from a fixed seed.
+func samplesFor(d distribution, n int) []float64 {
+	r := rng.New(0xc0ffee)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = d.gen(r)
+	}
+	return xs
+}
+
+// exactQuantile mirrors the sketch's rank convention on the exact
+// sorted sample: rank ceil(q*n), clamped to [1, n].
+func exactQuantile(sorted []float64, q float64) float64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+var quantiles = []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1}
+
+// TestSketchQuantileErrorBounds checks the headline accuracy property
+// on every adversarial distribution: each quantile estimate is within
+// relative error alpha of the exact sorted-sample quantile at the same
+// rank (values in the zero bucket are estimated as 0, so they get an
+// absolute tolerance of SketchMinValue).
+func TestSketchQuantileErrorBounds(t *testing.T) {
+	const n = 20_000
+	for _, d := range distributions() {
+		d := d
+		t.Run(d.name, func(t *testing.T) {
+			t.Parallel()
+			xs := samplesFor(d, n)
+			sk := NewSketch(DefaultSketchAlpha)
+			for _, x := range xs {
+				sk.Add(x)
+			}
+			sorted := append([]float64(nil), xs...)
+			sort.Float64s(sorted)
+			for _, q := range quantiles {
+				got := sk.Quantile(q)
+				want := exactQuantile(sorted, q)
+				if want < SketchMinValue {
+					if got != 0 {
+						t.Errorf("q=%v: zero-bucket value estimated %v, want 0", q, got)
+					}
+					continue
+				}
+				if rel := math.Abs(got-want) / want; rel > sk.Alpha()+1e-12 {
+					t.Errorf("q=%v: estimate %v vs exact %v: relative error %v > alpha %v",
+						q, got, want, rel, sk.Alpha())
+				}
+			}
+			s := Summarize(xs)
+			if math.Abs(sk.Mean()-s.Mean) > 1e-9*math.Max(1, math.Abs(s.Mean)) {
+				t.Errorf("mean %v vs exact %v", sk.Mean(), s.Mean)
+			}
+			if math.Abs(sk.StdDev()-s.StdDev) > 1e-6*math.Max(1, s.StdDev) {
+				t.Errorf("stddev %v vs exact %v", sk.StdDev(), s.StdDev)
+			}
+			if sk.Min() != s.Min || sk.Max() != s.Max {
+				t.Errorf("min/max %v/%v vs exact %v/%v", sk.Min(), sk.Max(), s.Min, s.Max)
+			}
+		})
+	}
+}
+
+// marshal renders a sketch's canonical bytes for byte-equality checks.
+func marshal(t *testing.T, sk *Sketch) []byte {
+	t.Helper()
+	data, err := json.Marshal(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// foldShards splits xs into nShards round-robin shards, folds each
+// into its own sketch, and merges them left-to-right in the given
+// shard order.
+func foldShards(t *testing.T, xs []float64, nShards int, order []int) *Sketch {
+	t.Helper()
+	shards := make([]*Sketch, nShards)
+	for i := range shards {
+		shards[i] = NewSketch(DefaultSketchAlpha)
+	}
+	for i, x := range xs {
+		shards[i%nShards].Add(x)
+	}
+	out := NewSketch(DefaultSketchAlpha)
+	for _, i := range order {
+		if err := out.Merge(shards[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+// TestSketchMergeCommutative checks merge(a,b) ≡ merge(b,a)
+// byte-for-byte on every distribution pair, including self-pairs.
+func TestSketchMergeCommutative(t *testing.T) {
+	const n = 4_000
+	ds := distributions()
+	for i := range ds {
+		for j := range ds {
+			a0, b0 := NewSketch(DefaultSketchAlpha), NewSketch(DefaultSketchAlpha)
+			for _, x := range samplesFor(ds[i], n) {
+				a0.Add(x)
+			}
+			for _, x := range samplesFor(ds[j], n/3) {
+				b0.Add(x)
+			}
+			ab := NewSketch(DefaultSketchAlpha)
+			if err := ab.Merge(a0); err != nil {
+				t.Fatal(err)
+			}
+			if err := ab.Merge(b0); err != nil {
+				t.Fatal(err)
+			}
+			ba := NewSketch(DefaultSketchAlpha)
+			if err := ba.Merge(b0); err != nil {
+				t.Fatal(err)
+			}
+			if err := ba.Merge(a0); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := marshal(t, ab), marshal(t, ba); !bytes.Equal(got, want) {
+				t.Errorf("%s+%s: merge not commutative:\n a,b: %s\n b,a: %s",
+					ds[i].name, ds[j].name, got, want)
+			}
+		}
+	}
+}
+
+// TestSketchFoldOfShardsMatchesWhole checks the sharding property the
+// campaign engine relies on: folding shards (in any shard order)
+// yields exactly the bucket counts — and therefore exactly the
+// quantile estimates — of folding the whole stream, with count, zeros,
+// min, and max exactly equal and sum/mean/M2 equal to floating-point
+// rounding.
+func TestSketchFoldOfShardsMatchesWhole(t *testing.T) {
+	const n = 10_000
+	for _, d := range distributions() {
+		d := d
+		t.Run(d.name, func(t *testing.T) {
+			t.Parallel()
+			xs := samplesFor(d, n)
+			whole := NewSketch(DefaultSketchAlpha)
+			for _, x := range xs {
+				whole.Add(x)
+			}
+			for _, nShards := range []int{2, 3, 7, 16} {
+				// Forward and reversed shard orders both must agree.
+				fwd := make([]int, nShards)
+				rev := make([]int, nShards)
+				for i := range fwd {
+					fwd[i] = i
+					rev[i] = nShards - 1 - i
+				}
+				for _, order := range [][]int{fwd, rev} {
+					got := foldShards(t, xs, nShards, order)
+					if got.Count() != whole.Count() || got.zeros != whole.zeros {
+						t.Fatalf("%d shards: count/zeros %d/%d vs whole %d/%d",
+							nShards, got.Count(), got.zeros, whole.Count(), whole.zeros)
+					}
+					if got.Min() != whole.Min() || got.Max() != whole.Max() {
+						t.Fatalf("%d shards: min/max differ", nShards)
+					}
+					if got.base != whole.base && len(whole.buckets) > 0 && len(got.buckets) > 0 {
+						// Dense windows may differ in padding; compare counts below.
+						_ = got
+					}
+					for _, q := range quantiles {
+						if got.Quantile(q) != whole.Quantile(q) {
+							t.Fatalf("%d shards: quantile %v = %v, whole = %v (must be exact)",
+								nShards, q, got.Quantile(q), whole.Quantile(q))
+						}
+					}
+					if rel := math.Abs(got.Sum()-whole.Sum()) / math.Max(1, math.Abs(whole.Sum())); rel > 1e-9 {
+						t.Fatalf("%d shards: sum %v vs %v", nShards, got.Sum(), whole.Sum())
+					}
+					if rel := math.Abs(got.StdDev()-whole.StdDev()) / math.Max(1, whole.StdDev()); rel > 1e-6 {
+						t.Fatalf("%d shards: stddev %v vs %v", nShards, got.StdDev(), whole.StdDev())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSketchJSONRoundTrip checks that Marshal → Unmarshal → Marshal is
+// byte-identical (the ledger's append/replay cycle) and that the
+// round-tripped sketch answers every quantile identically.
+func TestSketchJSONRoundTrip(t *testing.T) {
+	for _, d := range distributions() {
+		sk := NewSketch(DefaultSketchAlpha)
+		for _, x := range samplesFor(d, 5_000) {
+			sk.Add(x)
+		}
+		data := marshal(t, sk)
+		var back Sketch
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: %v", d.name, err)
+		}
+		if again := marshal(t, &back); !bytes.Equal(data, again) {
+			t.Errorf("%s: round trip not byte-identical", d.name)
+		}
+		for _, q := range quantiles {
+			if back.Quantile(q) != sk.Quantile(q) {
+				t.Errorf("%s: quantile %v drifted over round trip", d.name, q)
+			}
+		}
+		if err := back.Merge(sk); err != nil {
+			t.Errorf("%s: merging a round-tripped sketch: %v", d.name, err)
+		}
+	}
+}
+
+// TestSketchUnmarshalRejects locks the strict-parse behaviour the
+// ledger depends on: malformed sketch payloads fail instead of
+// silently degrading.
+func TestSketchUnmarshalRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":     `{"alpha":0.01,"count":0,"zeros":0,"sum":0,"min":0,"max":0,"m2":0,"buckets":[],"bogus":1}`,
+		"bad alpha":         `{"alpha":1.5,"count":0,"zeros":0,"sum":0,"min":0,"max":0,"m2":0,"buckets":[]}`,
+		"count mismatch":    `{"alpha":0.01,"count":5,"zeros":0,"sum":1,"min":1,"max":1,"m2":0,"buckets":[[3,4]]}`,
+		"unsorted buckets":  `{"alpha":0.01,"count":2,"zeros":0,"sum":2,"min":1,"max":1,"m2":0,"buckets":[[3,1],[2,1]]}`,
+		"zero-count bucket": `{"alpha":0.01,"count":1,"zeros":1,"sum":0,"min":0,"max":0,"m2":0,"buckets":[[3,0]]}`,
+		"not json":          `{"alpha":`,
+	}
+	for name, data := range cases {
+		var sk Sketch
+		if err := json.Unmarshal([]byte(data), &sk); err == nil {
+			t.Errorf("%s: parse unexpectedly succeeded", name)
+		}
+	}
+}
+
+// TestSketchEmptyAndEdge covers the empty sketch and clamping edges.
+func TestSketchEmptyAndEdge(t *testing.T) {
+	sk := NewSketch(DefaultSketchAlpha)
+	if sk.Quantile(0.5) != 0 || sk.Mean() != 0 || sk.StdDev() != 0 || sk.Min() != 0 || sk.Max() != 0 {
+		t.Error("empty sketch must report zeros")
+	}
+	if err := sk.Merge(NewSketch(DefaultSketchAlpha)); err != nil {
+		t.Errorf("merging empty sketches: %v", err)
+	}
+	other := NewSketch(0.05)
+	other.Add(1)
+	if err := sk.Merge(other); err == nil {
+		t.Error("merging different alphas must fail")
+	}
+	sk.Add(-5) // clamped to the zero bucket
+	if sk.Quantile(1) != 0 || sk.Min() != 0 {
+		t.Error("negative sample must clamp to 0")
+	}
+}
+
+// TestSketchAddAllocs is the flat-memory budget: once the sample range
+// has been seen, Add never allocates — a campaign's resident set does
+// not grow with its session count.
+func TestSketchAddAllocs(t *testing.T) {
+	sk := NewSketch(DefaultSketchAlpha)
+	r := rng.New(7)
+	for i := 0; i < 4_096; i++ {
+		sk.Add(r.Uniform(0.01, 5_000))
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		sk.Add(r.Uniform(0.01, 5_000))
+	}); avg != 0 {
+		t.Errorf("Add allocates %.1f per op in steady state, want 0", avg)
+	}
+}
+
+// BenchmarkSketchAdd measures the per-sample fold cost on the campaign
+// hot path (gated by benchgate for allocations).
+func BenchmarkSketchAdd(b *testing.B) {
+	sk := NewSketch(DefaultSketchAlpha)
+	r := rng.New(7)
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = r.Uniform(0.01, 5_000)
+	}
+	for _, x := range xs {
+		sk.Add(x)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Add(xs[i&4095])
+	}
+}

@@ -1,0 +1,62 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// KPITable renders a fixed-width key-performance-indicator table: the
+// campaign analyzer's configuration ranking, and any future tabular
+// report that wants the same look. The first column is left-aligned
+// (labels), every other column right-aligned (numbers); column widths
+// fit the widest cell, so the rendering is deterministic for a given
+// input. Every row must have the same number of cells as the header.
+func KPITable(w io.Writer, indent string, header []string, rows [][]string) error {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		if len(row) != len(header) {
+			return fmt.Errorf("viz: KPITable row has %d cells, header has %d", len(row), len(header))
+		}
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		b.WriteString(indent)
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			} else {
+				fmt.Fprintf(&b, "%*s", widths[i], cell)
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := line(header); err != nil {
+		return err
+	}
+	rule := make([]string, len(header))
+	for i, n := range widths {
+		rule[i] = strings.Repeat("-", n)
+	}
+	if err := line(rule); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

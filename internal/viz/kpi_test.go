@@ -1,0 +1,36 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKPITable(t *testing.T) {
+	var sb strings.Builder
+	err := KPITable(&sb, "  ",
+		[]string{"config", "sessions", "p95"},
+		[][]string{
+			{"storm/nt40/p100", "840", "45.67ms"},
+			{"t/w95/p200", "12", "1.00ms"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"  config           sessions      p95",
+		"  ---------------  --------  -------",
+		"  storm/nt40/p100       840  45.67ms",
+		"  t/w95/p200             12   1.00ms",
+		"",
+	}, "\n")
+	if sb.String() != want {
+		t.Errorf("table mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestKPITableRowMismatch(t *testing.T) {
+	var sb strings.Builder
+	if err := KPITable(&sb, "", []string{"a", "b"}, [][]string{{"only"}}); err == nil {
+		t.Fatal("short row must be an error")
+	}
+}
