@@ -16,7 +16,7 @@ BENCH_ALLOC_TOL ?= 0.10
 COVER_PKGS   = ./internal/machine ./internal/cpu ./internal/mem ./internal/disk
 COVER_FLOOR ?= 85
 
-.PHONY: all build vet test race verify bench bench-baseline bench-check cover doclint fuzz-smoke corpus-check campaign-check campaign-demo repro quick examples clean
+.PHONY: all build vet test race verify bench bench-baseline bench-check cover doclint fuzz-smoke corpus-check campaign-check campaign-resume-check campaign-demo repro quick examples clean
 
 all: build verify
 
@@ -38,8 +38,11 @@ race:
 # incomparable hardware), LATLAB_SKIP_COVER=1 to skip the coverage
 # floor, LATLAB_SKIP_FUZZ=1 to skip the fuzz smoke,
 # LATLAB_SKIP_DOCLINT=1 to skip the documentation lint,
-# LATLAB_SKIP_CORPUS=1 to skip the scenario-corpus replay, and
-# LATLAB_SKIP_CAMPAIGN=1 to skip the campaign-ledger replay.
+# LATLAB_SKIP_CORPUS=1 to skip the scenario-corpus replay,
+# LATLAB_SKIP_CAMPAIGN=1 to skip the campaign-ledger replay, and
+# LATLAB_SKIP_RESUME=1 to skip the interrupt/resume reconvergence check.
+# The campaign determinism and crash-safety tests themselves run under
+# -race via the race target above.
 verify: vet race
 	@if [ -z "$$LATLAB_SKIP_DOCLINT" ]; then \
 		$(MAKE) --no-print-directory doclint; \
@@ -71,6 +74,11 @@ verify: vet race
 	else \
 		echo "campaign-check skipped (LATLAB_SKIP_CAMPAIGN set)"; \
 	fi
+	@if [ -z "$$LATLAB_SKIP_RESUME" ]; then \
+		$(MAKE) --no-print-directory campaign-resume-check; \
+	else \
+		echo "campaign-resume-check skipped (LATLAB_SKIP_RESUME set)"; \
+	fi
 
 # Documentation gate: every internal package needs a package comment and
 # docs on its exported symbols, and every markdown link must resolve.
@@ -98,6 +106,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseAttribCSV$$' -fuzztime $(FUZZ_TIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzScenarioParse$$' -fuzztime $(FUZZ_TIME) ./internal/scenario
 	$(GO) test -run '^$$' -fuzz '^FuzzParseLedger$$' -fuzztime $(FUZZ_TIME) ./internal/campaign
+	$(GO) test -run '^$$' -fuzz '^FuzzParseQuarantine$$' -fuzztime $(FUZZ_TIME) ./internal/campaign
 
 # Replay the committed scenario corpus (testdata/scenarios/) through
 # the full CLI path and diff every rendering against its golden; also
@@ -122,6 +131,24 @@ campaign-check:
 		-out $$tmp/demo-analyze.txt && \
 	cmp $(CAMPAIGN_DIR)/demo-analyze.txt $$tmp/demo-analyze.txt && \
 	echo "campaign-check: demo ledger and analyze reproduce byte-for-byte (-jobs $(CAMPAIGN_JOBS))"
+
+# Crash-safety gate: interrupt the demo campaign mid-run with SIGINT,
+# prove the drained ledger is a clean prefix (repair is a no-op), then
+# resume at a different worker count and require the final ledger to
+# match the committed one byte for byte. Exit 3 = interrupted cleanly;
+# exit 0 means the run won the race and finished, which is also fine.
+campaign-resume-check:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/campaign ./cmd/campaign && \
+	( LATLAB_CAMPAIGN_INJECT=sleep=40ms $$tmp/campaign run -spec $(CAMPAIGN_DIR)/demo.json \
+		-ledger $$tmp/demo-ledger.jsonl -quick -jobs 2 & \
+	  pid=$$!; sleep 1; kill -INT $$pid 2>/dev/null; wait $$pid; code=$$?; \
+	  [ $$code -eq 0 ] || [ $$code -eq 3 ] || { echo "campaign-resume-check: interrupted run exited $$code, want 0 or 3"; exit 1; } ) && \
+	$$tmp/campaign repair -ledger $$tmp/demo-ledger.jsonl && \
+	$$tmp/campaign resume -spec $(CAMPAIGN_DIR)/demo.json \
+		-ledger $$tmp/demo-ledger.jsonl -quick -jobs $(CAMPAIGN_JOBS) && \
+	cmp $(CAMPAIGN_DIR)/demo-ledger.jsonl $$tmp/demo-ledger.jsonl && \
+	echo "campaign-resume-check: interrupted + resumed ledger matches the committed one byte-for-byte"
 
 # Regenerate the committed demo campaign ledger and report after an
 # intentional behaviour change. Commit both files.

@@ -84,8 +84,8 @@ func TestRunRefusesCorruptLedger(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out, errBuf strings.Builder
-	if code := run([]string{"run", "-spec", "testdata/mini.json", "-ledger", ledger, "-quick"}, &out, &errBuf); code == 0 {
-		t.Fatal("run must refuse a corrupt ledger")
+	if code := run([]string{"run", "-spec", "testdata/mini.json", "-ledger", ledger, "-quick"}, &out, &errBuf); code != exitCorrupt {
+		t.Fatalf("run on a corrupt ledger: exit %d, want %d", code, exitCorrupt)
 	}
 	data, err := os.ReadFile(ledger)
 	if err != nil {
@@ -101,12 +101,15 @@ func TestCLIUsageAndErrors(t *testing.T) {
 		args []string
 		code int
 	}{
-		{nil, 2},
-		{[]string{"bogus"}, 2},
-		{[]string{"run"}, 2},
-		{[]string{"analyze"}, 2},
-		{[]string{"run", "-spec", "testdata/mini.json"}, 2},
-		{[]string{"analyze", "-ledger", "testdata/does-not-exist.jsonl"}, 1},
+		{nil, exitUsage},
+		{[]string{"bogus"}, exitUsage},
+		{[]string{"run"}, exitUsage},
+		{[]string{"analyze"}, exitUsage},
+		{[]string{"repair"}, exitUsage},
+		{[]string{"resume"}, exitUsage},
+		{[]string{"run", "-spec", "testdata/mini.json"}, exitUsage},
+		{[]string{"analyze", "-ledger", "testdata/does-not-exist.jsonl"}, exitUsage},
+		{[]string{"analyze", "-ledger", "x.jsonl", "-emit-spec", "y.json"}, exitUsage},
 		{[]string{"help"}, 0},
 	}
 	for _, tc := range cases {

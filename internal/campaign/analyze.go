@@ -193,6 +193,48 @@ func suggestNext(records []Record) []NextCell {
 	return next
 }
 
+// NextSpec renders the analysis's suggested_next cells as a runnable
+// follow-up campaign spec (the explicit cell-list form), closing the
+// agent loop: analyze a ledger, emit the spec, run it. scenarioPath
+// maps each suggested cell's scenario id to the document path the
+// emitted spec should reference (relative to wherever the spec will be
+// written); every suggested scenario must be present. The result is
+// deterministic for a given analysis.
+func (a *Analysis) NextSpec(scenarioPath map[string]string) (Spec, error) {
+	if len(a.SuggestedNext) == 0 {
+		return Spec{}, fmt.Errorf("campaign: no suggested cells to emit")
+	}
+	s := Spec{
+		Schema: SpecSchemaVersion,
+		ID:     a.Campaign + "-next",
+		Title:  fmt.Sprintf("suggested_next refinement of campaign %s", a.Campaign),
+		Notes: fmt.Sprintf("Emitted by `campaign analyze -emit-spec` from a %d-cell ledger: "+
+			"the worst-p99 and worst-jitter cells, split into refined seed subranges.", a.Cells),
+	}
+	seen := map[string]bool{}
+	for _, n := range a.SuggestedNext {
+		if !seen[n.Scenario] {
+			path, ok := scenarioPath[n.Scenario]
+			if !ok {
+				return Spec{}, fmt.Errorf("campaign: no scenario path known for suggested scenario id %q", n.Scenario)
+			}
+			seen[n.Scenario] = true
+			s.Scenarios = append(s.Scenarios, path)
+		}
+		s.Cells = append(s.Cells, CellRef{
+			Scenario:  n.Scenario,
+			Persona:   n.Persona,
+			Machine:   n.Machine,
+			SeedStart: n.SeedStart,
+			SeedCount: n.SeedCount,
+		})
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
 // Render writes the analyze report: campaign totals, the ranked KPI
 // table, and the suggested follow-up cells as JSON lines. The output
 // is deterministic for a given ledger.

@@ -49,18 +49,44 @@ type Spec struct {
 	// Title is the one-line description shown by analyze.
 	Title string `json:"title"`
 	// Personas lists the OS personality short names to sweep.
-	Personas []string `json:"personas"`
+	Personas []string `json:"personas,omitempty"`
 	// Machines lists the hardware-profile short names to sweep.
-	Machines []string `json:"machines"`
+	Machines []string `json:"machines,omitempty"`
 	// Scenarios lists scenario-document paths, relative to the spec
 	// file. Each must be a single-run document (no compare rows); its
 	// persona, machine, and seed are overridden per cell.
 	Scenarios []string `json:"scenarios"`
 	// Seeds is the seed range swept per configuration and its cell
-	// granularity.
-	Seeds SeedBlock `json:"seeds"`
+	// granularity. (omitzero needs a Go ≥ 1.24 toolchain; older ones
+	// emit explicit zeros, which cell-list validation also accepts.)
+	Seeds SeedBlock `json:"seeds,omitzero"`
+	// Cells, when non-empty, switches the spec from a cube sweep to an
+	// explicit cell list: exactly these configuration × seed-range cells
+	// run, in this order. Mutually exclusive with Personas/Machines/
+	// Seeds (Scenarios still lists the referenced documents). This is
+	// the form `campaign analyze -emit-spec` writes, so suggested_next
+	// round-trips into a runnable spec.
+	Cells []CellRef `json:"cells,omitempty"`
 	// Notes is free-form provenance.
 	Notes string `json:"notes,omitempty"`
+}
+
+// CellRef names one explicit cell of a cell-list spec. Scenario is the
+// scenario document's id (which must resolve to one of the spec's
+// Scenarios entries), not its path.
+type CellRef struct {
+	// Scenario, Persona, Machine name the configuration.
+	Scenario string `json:"scenario"`
+	Persona  string `json:"persona"`
+	Machine  string `json:"machine"`
+	// SeedStart and SeedCount delimit the cell's seed range.
+	SeedStart uint64 `json:"seed_start"`
+	SeedCount int    `json:"seed_count"`
+}
+
+// ID returns the cell id the ref expands to, matching Cell.ID.
+func (c CellRef) ID() string {
+	return fmt.Sprintf("%s/%s/%s/%d+%d", c.Scenario, c.Persona, c.Machine, c.SeedStart, c.SeedCount)
 }
 
 // SeedBlock sizes the seed axis of the cube.
@@ -76,8 +102,16 @@ type SeedBlock struct {
 	PerCell int `json:"per_cell"`
 }
 
-// Sessions returns the total session count of the cube.
+// Sessions returns the total session count of the cube (or of the
+// explicit cell list).
 func (s Spec) Sessions() int {
+	if len(s.Cells) > 0 {
+		n := 0
+		for _, c := range s.Cells {
+			n += c.SeedCount
+		}
+		return n
+	}
 	return len(s.Scenarios) * len(s.Personas) * len(s.Machines) * s.Seeds.Count
 }
 
@@ -96,6 +130,9 @@ func (s Spec) Validate() error {
 	}
 	if s.Title == "" {
 		return fmt.Errorf("campaign %s: missing title", s.ID)
+	}
+	if len(s.Cells) > 0 {
+		return s.validateCells()
 	}
 	if len(s.Personas) == 0 {
 		return fmt.Errorf("campaign %s: no personas", s.ID)
@@ -139,6 +176,43 @@ func (s Spec) Validate() error {
 	return nil
 }
 
+// validateCells checks the explicit-cell-list form of a spec: no cube
+// axes alongside it, every referenced persona and machine valid, sane
+// seed ranges, and no duplicate cells.
+func (s Spec) validateCells() error {
+	if len(s.Personas) > 0 || len(s.Machines) > 0 || s.Seeds != (SeedBlock{}) {
+		return fmt.Errorf("campaign %s: cells and cube axes (personas/machines/seeds) are mutually exclusive", s.ID)
+	}
+	if len(s.Scenarios) == 0 {
+		return fmt.Errorf("campaign %s: no scenarios", s.ID)
+	}
+	seen := map[string]bool{}
+	for i, c := range s.Cells {
+		if c.Scenario == "" {
+			return fmt.Errorf("campaign %s: cell %d has no scenario id", s.ID, i)
+		}
+		if _, ok := persona.ByShort(c.Persona); !ok {
+			return fmt.Errorf("campaign %s: cell %d: unknown persona %q (valid: %s)",
+				s.ID, i, c.Persona, strings.Join(personaShorts(), ", "))
+		}
+		if _, ok := machine.ByShort(c.Machine); !ok {
+			return fmt.Errorf("campaign %s: cell %d: unknown machine %q (valid: %s)",
+				s.ID, i, c.Machine, strings.Join(machine.Shorts(), ", "))
+		}
+		if c.SeedStart < 1 {
+			return fmt.Errorf("campaign %s: cell %d: seed_start must be >= 1", s.ID, i)
+		}
+		if c.SeedCount < 1 {
+			return fmt.Errorf("campaign %s: cell %d: seed_count must be positive", s.ID, i)
+		}
+		if seen[c.ID()] {
+			return fmt.Errorf("campaign %s: duplicate cell %s", s.ID, c.ID())
+		}
+		seen[c.ID()] = true
+	}
+	return nil
+}
+
 // personaShorts lists the valid persona short names.
 func personaShorts() []string {
 	var out []string
@@ -166,6 +240,20 @@ func ParseSpec(data []byte) (Spec, error) {
 		return Spec{}, err
 	}
 	return s, nil
+}
+
+// MarshalSpec renders a spec as a deterministic, parseable campaign
+// file: indented JSON in struct field order plus a trailing newline —
+// the form `campaign analyze -emit-spec` writes.
+func MarshalSpec(s Spec) ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	return append(data, '\n'), nil
 }
 
 // Campaign is a loaded spec with its scenario templates resolved: the
@@ -207,6 +295,13 @@ func LoadSpec(path string) (*Campaign, error) {
 		}
 		ids[doc.ID] = true
 		c.Docs = append(c.Docs, doc)
+	}
+	// In cell-list mode every cell's scenario id must name one of the
+	// resolved documents — only checkable now that the docs are loaded.
+	for i, cell := range spec.Cells {
+		if !ids[cell.Scenario] {
+			return nil, fmt.Errorf("campaign %s: cell %d references scenario id %q, not the id of any listed document", spec.ID, i, cell.Scenario)
+		}
 	}
 	return c, nil
 }

@@ -162,3 +162,148 @@ func TestLoadSpecRejectsDuplicateScenarioIDs(t *testing.T) {
 		t.Fatalf("want duplicate-id rejection, got %v", err)
 	}
 }
+
+// cellSpecJSON is a minimal valid explicit-cell-list spec.
+const cellSpecJSON = `{
+  "schema": 1,
+  "id": "demo-next",
+  "title": "t",
+  "scenarios": ["s.json"],
+  "cells": [
+    {"scenario": "s", "persona": "nt40", "machine": "p100", "seed_start": 1, "seed_count": 3},
+    {"scenario": "s", "persona": "w95", "machine": "p100", "seed_start": 4, "seed_count": 3}
+  ]
+}`
+
+func TestParseSpecCellList(t *testing.T) {
+	s, err := ParseSpec([]byte(cellSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Cells) != 2 || s.Sessions() != 6 {
+		t.Errorf("parsed spec = %+v", s)
+	}
+	if got := s.Cells[0].ID(); got != "s/nt40/p100/1+3" {
+		t.Errorf("cell id %q", got)
+	}
+}
+
+func TestParseSpecCellListRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(string) string
+		wantErr string
+	}{
+		{"cells plus personas", func(s string) string {
+			return strings.Replace(s, `"scenarios"`, `"personas": ["nt40"], "scenarios"`, 1)
+		}, "mutually exclusive"},
+		{"cells plus seeds", func(s string) string {
+			return strings.Replace(s, `"scenarios"`, `"seeds": {"start":1,"count":2,"per_cell":1}, "scenarios"`, 1)
+		}, "mutually exclusive"},
+		{"unknown persona", func(s string) string {
+			return strings.Replace(s, `"persona": "nt40"`, `"persona": "bogus"`, 1)
+		}, "unknown persona"},
+		{"unknown machine", func(s string) string {
+			return strings.Replace(s, `"machine": "p100", "seed_start": 1`, `"machine": "bogus", "seed_start": 1`, 1)
+		}, "unknown machine"},
+		{"zero seed start", func(s string) string {
+			return strings.Replace(s, `"seed_start": 1`, `"seed_start": 0`, 1)
+		}, "seed_start"},
+		{"zero seed count", func(s string) string {
+			return strings.Replace(s, `"seed_count": 3}`, `"seed_count": 0}`, 1)
+		}, "seed_count"},
+		{"no scenario id", func(s string) string {
+			return strings.Replace(s, `{"scenario": "s", "persona": "nt40"`, `{"scenario": "", "persona": "nt40"`, 1)
+		}, "no scenario id"},
+		{"duplicate cell", func(s string) string {
+			return strings.Replace(s, `"persona": "w95", "machine": "p100", "seed_start": 4`,
+				`"persona": "nt40", "machine": "p100", "seed_start": 1`, 1)
+		}, "duplicate cell"},
+	}
+	for _, tc := range cases {
+		mutated := tc.mutate(cellSpecJSON)
+		if mutated == cellSpecJSON {
+			t.Fatalf("%s: mutation did not change the spec", tc.name)
+		}
+		if _, err := ParseSpec([]byte(mutated)); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestMarshalSpecRoundTrips(t *testing.T) {
+	for _, src := range []string{validSpecJSON, cellSpecJSON} {
+		s, err := ParseSpec([]byte(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := MarshalSpec(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := ParseSpec(data)
+		if err != nil {
+			t.Fatalf("marshaled spec does not re-parse: %v\n%s", err, data)
+		}
+		if again.ID != s.ID || len(again.Cells) != len(s.Cells) || again.Sessions() != s.Sessions() {
+			t.Errorf("round trip changed the spec:\n%+v\nvs\n%+v", s, again)
+		}
+		// Deterministic bytes.
+		data2, err := MarshalSpec(again)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != string(data2) {
+			t.Error("MarshalSpec is not deterministic")
+		}
+	}
+}
+
+// TestNextSpecRoundTrip closes the analyze → emit-spec → run loop at
+// the library level: the emitted spec must load, expand to exactly the
+// suggested cells, and run.
+func TestNextSpecRoundTrip(t *testing.T) {
+	ledger, _ := runMini(t, 2)
+	recs, err := ParseLedger(ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := a.NextSpec(map[string]string{"tiny-type": "tiny-type.json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.ID != "mini-next" || len(next.Cells) != len(a.SuggestedNext) {
+		t.Fatalf("next spec %+v", next)
+	}
+	data, err := MarshalSpec(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write next to the testdata dir so its scenario path resolves.
+	path := "testdata/emitted-next.json"
+	writeFile(t, path, string(data))
+	t.Cleanup(func() { os.Remove(path) })
+	c, err := LoadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := Cells(c)
+	if len(cells) != len(a.SuggestedNext) {
+		t.Fatalf("%d cells, want %d", len(cells), len(a.SuggestedNext))
+	}
+	for i, n := range a.SuggestedNext {
+		want := Quarantine{Scenario: n.Scenario, Persona: n.Persona, Machine: n.Machine,
+			SeedStart: n.SeedStart, SeedCount: n.SeedCount}.Cell()
+		if cells[i].ID() != want {
+			t.Errorf("cell %d = %s, want %s", i, cells[i].ID(), want)
+		}
+	}
+	// An unknown scenario id must refuse, not emit a dangling reference.
+	if _, err := a.NextSpec(map[string]string{}); err == nil {
+		t.Error("NextSpec with no path mapping must error")
+	}
+}

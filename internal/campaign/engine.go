@@ -20,11 +20,72 @@ type Options struct {
 	// Quick selects the quick workload parameter set for every session,
 	// exactly like latbench -quick.
 	Quick bool
-	// Timeout bounds each cell's wall time; 0 means no limit.
+	// Timeout bounds each cell's wall time — the whole retry loop,
+	// backoff included; 0 means no limit. A timed-out cell is
+	// quarantined, not fatal.
 	Timeout time.Duration
 	// Alpha is the sketch relative accuracy; 0 means
 	// stats.DefaultSketchAlpha.
 	Alpha float64
+	// RetryBudget caps the total attempts a quarantined cell may consume
+	// across the original run and every resume. Cells without a prior
+	// quarantine entry always get exactly one attempt (failures are
+	// quarantined for resume to retry, keeping the first pass fast);
+	// a cell with prior failures gets RetryBudget - prior attempts here.
+	// <= 0 means 1.
+	RetryBudget int
+	// Backoff is the base delay between retry attempts of one cell. The
+	// delay before global attempt n (2nd, 3rd, …) is Backoff << (n-2),
+	// a deterministic exponential schedule — unlike the runner's
+	// seed-perturbing retry, the seeds never change. Zero disables
+	// waiting.
+	Backoff time.Duration
+	// PriorAttempts maps cell ids to failed attempts recorded in the
+	// quarantine sidecar, so the retry budget spans runs.
+	PriorAttempts map[string]int
+	// Drain, when closed, stops feeding new cells while in-flight cells
+	// run to completion and flush through the reorder buffer — graceful
+	// shutdown. The completed set stays a prefix of expansion order, so
+	// the ledger remains byte-identical resumable.
+	Drain <-chan struct{}
+	// Inject is the crash-injection seam: when non-nil it runs before
+	// every cell attempt (attempt is the global 1-based attempt number,
+	// prior failures included) and a non-nil return fails the attempt
+	// without running any session. Tests and the
+	// LATLAB_CAMPAIGN_INJECT env hook use it to fault or delay specific
+	// cells deterministically.
+	Inject func(ctx context.Context, cell Cell, attempt int) error
+	// OnQuarantine, when non-nil, receives each quarantined cell in
+	// expansion order as soon as its failure is known — the hook the CLI
+	// uses to append the sidecar crash-safely while the run continues. A
+	// returned error stops the run like an emit error.
+	OnQuarantine func(Quarantine) error
+}
+
+// SketchAlpha resolves the sketch accuracy the options run with —
+// the value resume planning must match against existing records.
+func (o Options) SketchAlpha() float64 {
+	if o.Alpha == 0 {
+		return stats.DefaultSketchAlpha
+	}
+	return o.Alpha
+}
+
+// attemptsFor returns how many attempts the cell may consume this run.
+func (o Options) attemptsFor(id string) (prior, allowed int) {
+	prior = o.PriorAttempts[id]
+	if prior == 0 {
+		return 0, 1
+	}
+	budget := o.RetryBudget
+	if budget < 1 {
+		budget = 1
+	}
+	allowed = budget - prior
+	if allowed < 1 {
+		allowed = 1
+	}
+	return prior, allowed
 }
 
 // Cell is one unit of campaign work: a single configuration swept over
@@ -51,11 +112,35 @@ func (c Cell) ID() string {
 	return fmt.Sprintf("%s/%s/%s/%d+%d", c.Scenario, c.Persona, c.Machine, c.SeedStart, c.SeedCount)
 }
 
-// Cells expands the campaign cube into cells in canonical order:
-// scenario-major, then persona, then machine, then ascending seed
-// chunks — the order records appear in the ledger.
+// Cells expands the campaign into cells in canonical order. For a cube
+// spec that is scenario-major, then persona, then machine, then
+// ascending seed chunks — the order records appear in the ledger. For
+// an explicit cell-list spec it is simply the listed order, one engine
+// cell per CellRef.
 func Cells(c *Campaign) []Cell {
 	var out []Cell
+	if len(c.Spec.Cells) > 0 {
+		docByID := map[string]int{}
+		for i, doc := range c.Docs {
+			docByID[doc.ID] = i
+		}
+		for i, ref := range c.Spec.Cells {
+			d := c.Docs[docByID[ref.Scenario]]
+			d.Persona = ref.Persona
+			d.Machine = ref.Machine
+			d.Seed = 0
+			out = append(out, Cell{
+				Index:     i,
+				Doc:       d,
+				Scenario:  ref.Scenario,
+				Persona:   ref.Persona,
+				Machine:   ref.Machine,
+				SeedStart: ref.SeedStart,
+				SeedCount: ref.SeedCount,
+			})
+		}
+		return out
+	}
 	for si, doc := range c.Docs {
 		for _, p := range c.Spec.Personas {
 			for _, m := range c.Spec.Machines {
@@ -90,85 +175,216 @@ func Cells(c *Campaign) []Cell {
 
 // Summary totals a completed campaign run.
 type Summary struct {
+	// Planned is the number of cells the run set out to execute.
+	Planned int
 	// Cells is the number of ledger records emitted.
 	Cells int
 	// Sessions is the number of seeded sessions executed.
 	Sessions int
 	// Events is the number of event latencies folded into sketches.
 	Events uint64
+	// Quarantined lists the cells that failed (error, panic, timeout)
+	// after their attempts, in expansion order. The run completed the
+	// remaining cells instead of aborting; `campaign resume` retries
+	// these with the same seeds.
+	Quarantined []Quarantine
+	// Interrupted reports that the run stopped early — a drained or
+	// cancelled context — and the ledger holds a resumable prefix
+	// instead of every planned cell.
+	Interrupted bool
 }
 
-// cellResult carries a finished cell's ledger record through the
-// runner's reorder buffer. It is the experiments.Result of the
-// synthetic per-cell spec.
+// cellResult carries a finished cell's outcome through the runner's
+// reorder buffer. It is the experiments.Result of the synthetic
+// per-cell spec; exactly one of rec/fail is meaningful, so a failed
+// cell flows through the same ordered path as a completed one instead
+// of aborting the suite.
 type cellResult struct {
-	id  string
-	rec Record
+	id   string
+	rec  Record
+	fail *Quarantine
 }
 
 // ExperimentID implements experiments.Result.
 func (r *cellResult) ExperimentID() string { return r.id }
 
-// Render implements experiments.Result with the record's headline.
+// Render implements experiments.Result with the cell's headline.
 func (r *cellResult) Render(w io.Writer) error {
+	if r.fail != nil {
+		_, err := fmt.Fprintf(w, "cell %s: quarantined after %d attempts: %s\n",
+			r.id, r.fail.Attempts, r.fail.Error)
+		return err
+	}
 	_, err := fmt.Fprintf(w, "cell %s: %d sessions, %d events, p99 %.2fms\n",
 		r.id, r.rec.Sessions, r.rec.Events, r.rec.P99Ms)
 	return err
 }
 
-// Run executes the campaign: cells shard across the runner's worker
-// pool, each cell folds its sessions sequentially in seed order into a
-// fresh sketch, and emit receives one Record per cell in expansion
-// order (the runner's reorder buffer restores it whatever the worker
-// count). Any failed session aborts the run — a partial cell must
-// never reach the ledger. If emit returns an error the run stops and
-// that error is returned.
+// Run executes the whole campaign: every cell of the expanded cube, in
+// expansion order. See RunCells for the execution contract.
 func Run(ctx context.Context, c *Campaign, opt Options, emit func(Record) error) (Summary, error) {
-	alpha := opt.Alpha
-	if alpha == 0 {
-		alpha = stats.DefaultSketchAlpha
-	}
-	cells := Cells(c)
+	return RunCells(ctx, c, Cells(c), opt, emit)
+}
+
+// RunCells executes the given cells (any subset of the campaign's
+// expansion, in expansion order — Run passes all of them, resume the
+// set-difference): cells shard across the runner's worker pool, each
+// cell folds its sessions sequentially in seed order into a fresh
+// sketch, and emit receives one Record per completed cell in cell
+// order (the runner's reorder buffer restores it whatever the worker
+// count).
+//
+// A cell whose sessions error, panic, or time out is quarantined — the
+// run continues — and lands in Summary.Quarantined (and
+// opt.OnQuarantine), never in the ledger. Cancellation and draining
+// instead mark the run Interrupted, and record appends stop at the
+// first not-completed cell so the emitted records always form a prefix
+// of cells: an interrupted ledger plus a resume reconverges to the
+// byte-identical uninterrupted ledger. If emit or OnQuarantine returns
+// an error the run stops and that error is returned.
+func RunCells(ctx context.Context, c *Campaign, cells []Cell, opt Options, emit func(Record) error) (Summary, error) {
+	alpha := opt.SketchAlpha()
 	specs := make([]experiments.Spec, len(cells))
 	for i, cell := range cells {
-		specs[i] = cellSpec(c.Spec.ID, cell, alpha, opt.Quick)
+		specs[i] = cellSpec(c.Spec.ID, cell, alpha, opt)
 	}
-	var sum Summary
+	sum := Summary{Planned: len(cells)}
+	next := 0
 	_, err := runner.Run(ctx, specs,
 		runner.Options{
 			Jobs:    opt.Jobs,
 			Timeout: opt.Timeout,
-			// Retries must stay 0: a retry perturbs the seed, and a
-			// perturbed seed breaks the ledger's determinism contract.
+			// Retries must stay 0: the runner's retry perturbs the seed, and
+			// a perturbed seed breaks the ledger's determinism contract. The
+			// deterministic same-seed retry lives in cellSpec instead.
 			Retries: 0,
+			Drain:   opt.Drain,
 			Config:  experiments.Config{Quick: opt.Quick},
 		},
 		func(out runner.Outcome) error {
+			cell := cells[next]
+			next++
+			// Interruption — a drained suffix or a cell cut down by
+			// cancellation — is not failure: the cell is simply not run, and
+			// everything from the first such gap on is left for resume so
+			// the appended records stay a prefix of expansion order.
+			if out.Record.Cancelled || out.Record.Error == context.Canceled.Error() {
+				sum.Interrupted = true
+				return nil
+			}
 			if out.Record.Failed() {
-				return fmt.Errorf("campaign %s: cell %s failed: %s", c.Spec.ID, out.Spec.ID, out.Record.Error)
+				// Panics and timeouts bypass the in-spec retry loop (the
+				// runner caught them at the spec boundary), so the attempt
+				// accounting is the prior count plus this one attempt.
+				prior, _ := opt.attemptsFor(cell.ID())
+				return quarantine(&sum, opt, cellQuarantine(c.Spec.ID, cell, opt.Quick, prior+1, out.Record.Error))
 			}
 			res := out.Result.(*cellResult)
+			if res.fail != nil {
+				return quarantine(&sum, opt, *res.fail)
+			}
+			if sum.Interrupted {
+				// A completed cell after an interruption gap would land out
+				// of order; drop it and let resume re-run it.
+				return nil
+			}
 			sum.Cells++
 			sum.Sessions += res.rec.Sessions
 			sum.Events += res.rec.Events
 			return emit(res.rec)
 		})
+	// Cells the collector never saw — the feed stopped on a drain or
+	// cancellation — are interruption too, even though the runner's
+	// synthetic records for them bypass the emit path.
+	if next < len(cells) {
+		sum.Interrupted = true
+	}
+	if err != nil && ctx.Err() != nil {
+		sum.Interrupted = true
+	}
 	return sum, err
 }
 
+// quarantine records one failed cell and forwards it to the hook.
+func quarantine(sum *Summary, opt Options, q Quarantine) error {
+	sum.Quarantined = append(sum.Quarantined, q)
+	if opt.OnQuarantine != nil {
+		return opt.OnQuarantine(q)
+	}
+	return nil
+}
+
+// cellQuarantine builds the quarantine entry for a failed cell.
+func cellQuarantine(campaignID string, cell Cell, quick bool, attempts int, errMsg string) Quarantine {
+	return Quarantine{
+		Schema:    QuarantineSchemaVersion,
+		Campaign:  campaignID,
+		Scenario:  cell.Scenario,
+		Persona:   cell.Persona,
+		Machine:   cell.Machine,
+		SeedStart: cell.SeedStart,
+		SeedCount: cell.SeedCount,
+		Quick:     quick,
+		Attempts:  attempts,
+		Error:     errMsg,
+	}
+}
+
 // cellSpec wraps one cell as a synthetic experiments.Spec so the
-// runner can schedule it like any other experiment.
-func cellSpec(campaignID string, cell Cell, alpha float64, quick bool) experiments.Spec {
+// runner can schedule it like any other experiment. The spec's Run
+// holds the deterministic retry loop: up to the cell's allowed
+// attempts with the *same* seeds, exponential backoff between them,
+// and a cellResult carrying either the record or the quarantine entry
+// — it only returns an error for cancellation, so a failing cell never
+// aborts the suite.
+func cellSpec(campaignID string, cell Cell, alpha float64, opt Options) experiments.Spec {
 	return experiments.Spec{
 		ID:    cell.ID(),
 		Title: fmt.Sprintf("campaign %s cell %s", campaignID, cell.ID()),
 		Run: func(ctx context.Context, _ experiments.Config) (experiments.Result, error) {
-			rec, err := runCell(ctx, campaignID, cell, alpha, quick)
-			if err != nil {
-				return nil, err
+			prior, allowed := opt.attemptsFor(cell.ID())
+			var lastErr error
+			for a := 0; a < allowed; a++ {
+				attempt := prior + a + 1
+				if a > 0 && opt.Backoff > 0 {
+					if err := sleepCtx(ctx, opt.Backoff<<(attempt-2)); err != nil {
+						return nil, err
+					}
+				}
+				var rec Record
+				var err error
+				if opt.Inject != nil {
+					err = opt.Inject(ctx, cell, attempt)
+				}
+				if err == nil {
+					rec, err = runCell(ctx, campaignID, cell, alpha, opt.Quick)
+				}
+				if err == nil {
+					return &cellResult{id: cell.ID(), rec: rec}, nil
+				}
+				if ctx.Err() != nil {
+					// Cancellation, not failure: surface the bare context
+					// error so the collector files the cell under
+					// "interrupted", never "quarantined".
+					return nil, ctx.Err()
+				}
+				lastErr = err
 			}
-			return &cellResult{id: cell.ID(), rec: rec}, nil
+			q := cellQuarantine(campaignID, cell, opt.Quick, prior+allowed, lastErr.Error())
+			return &cellResult{id: cell.ID(), fail: &q}, nil
 		},
+	}
+}
+
+// sleepCtx waits d or until ctx is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -121,29 +122,92 @@ func AppendRecord(w io.Writer, r Record) error {
 // record (an interrupted append must not pass as a shorter, valid
 // ledger). An empty ledger parses to no records.
 func ParseLedger(data []byte) ([]Record, error) {
-	if len(data) == 0 {
-		return nil, nil
-	}
-	if data[len(data)-1] != '\n' {
-		return nil, fmt.Errorf("campaign: ledger ends mid-record (truncated append?)")
-	}
 	var out []Record
-	line := 0
-	for len(data) > 0 {
-		line++
-		nl := bytes.IndexByte(data, '\n')
-		raw := data[:nl]
-		data = data[nl+1:]
-		if len(bytes.TrimSpace(raw)) == 0 {
-			return nil, fmt.Errorf("campaign: ledger line %d is blank", line)
-		}
-		rec, err := parseRecord(raw)
-		if err != nil {
-			return nil, fmt.Errorf("campaign: ledger line %d: %w", line, err)
-		}
-		out = append(out, rec)
+	err := ScanLedger(bytes.NewReader(data), func(r Record) error {
+		out = append(out, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// ScanLedger streams a JSONL ledger through a bufio.Reader one line at
+// a time, calling fn for each record, with exactly ParseLedger's
+// strictness — so a million-cell ledger costs one line of buffer, not
+// O(file) memory, and the caller decides what to retain. If fn returns
+// an error the scan stops and returns it.
+func ScanLedger(r io.Reader, fn func(Record) error) error {
+	s, err := salvageLedger(r, fn)
+	if err != nil {
+		return err
+	}
+	if s.Tail != nil {
+		return fmt.Errorf("campaign: ledger ends mid-record (truncated append?)")
+	}
+	return nil
+}
+
+// Salvage is the result of scanning a possibly-torn ledger: how much of
+// it is intact and what hangs off the end.
+type Salvage struct {
+	// Records counts the valid records before the tear.
+	Records int
+	// ValidBytes is the byte offset just past the final valid record —
+	// the length to truncate a torn ledger to.
+	ValidBytes int64
+	// Tail is the torn final fragment (the bytes of an interrupted
+	// append, missing their newline); nil when the ledger is intact.
+	Tail []byte
+}
+
+// SalvageLedger scans a ledger tolerating the one legal corruption
+// shape: a truncated final line from an interrupted append, i.e. bytes
+// after the last complete record that never received their terminating
+// newline. It returns where the valid prefix ends and the torn tail
+// (nil if the ledger is intact). Every other malformation — a
+// terminated line that does not parse, a blank line, a non-canonical
+// record — is corruption the append-only engine could not have
+// produced, and is returned as an error instead.
+func SalvageLedger(r io.Reader) (Salvage, error) {
+	return salvageLedger(r, nil)
+}
+
+// salvageLedger is the shared line-at-a-time scan under ScanLedger and
+// SalvageLedger.
+func salvageLedger(r io.Reader, fn func(Record) error) (Salvage, error) {
+	br := bufio.NewReader(r)
+	var s Salvage
+	line := 0
+	for {
+		raw, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			if len(raw) > 0 {
+				s.Tail = raw
+			}
+			return s, nil
+		}
+		if err != nil {
+			return Salvage{}, fmt.Errorf("campaign: %w", err)
+		}
+		line++
+		body := raw[:len(raw)-1]
+		if len(bytes.TrimSpace(body)) == 0 {
+			return Salvage{}, fmt.Errorf("campaign: ledger line %d is blank", line)
+		}
+		rec, err := parseRecord(body)
+		if err != nil {
+			return Salvage{}, fmt.Errorf("campaign: ledger line %d: %w", line, err)
+		}
+		s.Records++
+		s.ValidBytes += int64(len(raw))
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return Salvage{}, err
+			}
+		}
+	}
 }
 
 // parseRecord decodes one ledger line strictly and checks it is in

@@ -143,6 +143,8 @@ func FuzzParseLedger(f *testing.F) {
 	f.Add(line)
 	f.Add(append(line, line...))
 	f.Add(line[:len(line)-1])                                     // truncated
+	f.Add(append(append([]byte{}, line...), line[:len(line)/2]...)) // torn tail after a valid record
+	f.Add(append(append([]byte{}, line...), line[:1]...))           // one-byte torn tail
 	f.Add([]byte(`{"schema":1}` + "\n"))                          // incomplete record
 	f.Add([]byte(`{"bogus":true}` + "\n"))                        // unknown field
 	f.Add([]byte("\n"))                                           // blank line

@@ -1,0 +1,93 @@
+package campaign
+
+import (
+	"fmt"
+)
+
+// Resume plans a crash-safe continuation of a campaign: feed it every
+// record already in the ledger (streamed, via Observe) and it computes
+// the set-difference against the spec's expanded cells — the cells
+// still to run, in canonical expansion order. Because every cell's
+// record depends only on its own configuration and seeds, an
+// interrupted run plus a resume produces the same record bytes as an
+// uninterrupted run; and because an interrupted run's ledger is always
+// a prefix of expansion order (the reorder buffer emits in order and
+// appends stop at the first gap), appending the remainder in expansion
+// order reconverges to the byte-identical full ledger.
+type Resume struct {
+	c     *Campaign
+	quick bool
+	alpha float64
+	cells []Cell
+	byID  map[string]int
+	seen  map[string]bool
+}
+
+// NewResume starts planning a resume of campaign c in the given mode.
+// alpha is the sketch accuracy the new cells will run with; ledger
+// records must match it, or merged analysis would silently mix
+// accuracies.
+func NewResume(c *Campaign, quick bool, alpha float64) *Resume {
+	cells := Cells(c)
+	byID := make(map[string]int, len(cells))
+	for i, cell := range cells {
+		byID[cell.ID()] = i
+	}
+	return &Resume{
+		c:     c,
+		quick: quick,
+		alpha: alpha,
+		cells: cells,
+		byID:  byID,
+		seen:  make(map[string]bool, len(cells)),
+	}
+}
+
+// Observe accounts one existing ledger record, verifying it belongs to
+// this campaign: same campaign id, same mode, same sketch accuracy, a
+// cell the spec actually expands, and no duplicates. A ledger that
+// fails here is valid JSONL but is not this campaign's — resuming onto
+// it would corrupt the set-difference.
+func (r *Resume) Observe(rec Record) error {
+	if rec.Campaign != r.c.Spec.ID {
+		return fmt.Errorf("campaign: ledger record for campaign %q, resuming %q", rec.Campaign, r.c.Spec.ID)
+	}
+	if rec.Quick != r.quick {
+		return fmt.Errorf("campaign: ledger cell %s ran quick=%v, resume requested quick=%v", rec.Cell(), rec.Quick, r.quick)
+	}
+	if a := rec.Sketch.Alpha(); a != r.alpha {
+		return fmt.Errorf("campaign: ledger cell %s has sketch alpha %v, resume requested %v", rec.Cell(), a, r.alpha)
+	}
+	id := rec.Cell()
+	if _, ok := r.byID[id]; !ok {
+		return fmt.Errorf("campaign: ledger cell %s is not a cell of spec %s (spec changed since the run?)", id, r.c.Spec.ID)
+	}
+	if r.seen[id] {
+		return fmt.Errorf("campaign: duplicate ledger record for cell %s", id)
+	}
+	r.seen[id] = true
+	return nil
+}
+
+// Done reports how many of the spec's cells the ledger already holds.
+func (r *Resume) Done() int { return len(r.seen) }
+
+// Missing returns the cells still to run, in canonical expansion
+// order. Quarantined cells whose attempt count has reached budget are
+// split off into skipped: they stay quarantined rather than burning
+// the run's time on a cell that keeps failing. A budget < 1 retries
+// nothing.
+func (r *Resume) Missing(quar map[string]Quarantine, budget int) (missing []Cell, skipped []Quarantine) {
+	for _, cell := range r.cells {
+		id := cell.ID()
+		if r.seen[id] {
+			continue
+		}
+		if q, ok := quar[id]; ok && q.Attempts >= budget {
+			skipped = append(skipped, q)
+			continue
+		}
+		missing = append(missing, cell)
+	}
+	return missing, skipped
+}

@@ -39,6 +39,14 @@ type Options struct {
 	// Timeouts and cancellation are not retried — their budget is already
 	// spent and a different seed will not unstick them.
 	Retries int
+	// Drain, when it becomes readable (usually by closing it), stops the
+	// feeder from handing out new specs while letting every in-flight
+	// spec run to completion — the graceful-shutdown half of
+	// cancellation. Because specs are fed strictly in order, the set of
+	// completed specs after a drain is always a prefix of specs; the
+	// un-fed suffix still gets synthetic Cancelled records. A nil Drain
+	// never fires.
+	Drain <-chan struct{}
 	// Config is passed to every experiment.
 	Config experiments.Config
 }
@@ -212,9 +220,21 @@ func Run(ctx context.Context, specs []experiments.Spec, opt Options, emit func(O
 	go func() {
 		defer close(work)
 		for i := range specs {
+			// Check the stop signals with priority: a select with a ready
+			// worker would otherwise race a just-closed Drain and feed one
+			// more spec.
+			select {
+			case <-ctx.Done():
+				return
+			case <-opt.Drain:
+				return
+			default:
+			}
 			select {
 			case work <- i:
 			case <-ctx.Done():
+				return
+			case <-opt.Drain:
 				return
 			}
 		}

@@ -374,3 +374,63 @@ func TestManifestCarriesScenario(t *testing.T) {
 		}
 	}
 }
+
+func TestDrainStopsFeedingWithoutError(t *testing.T) {
+	// Drain closed before the run starts: no spec is fed, every record
+	// is a synthetic cancelled one, and — unlike cancellation — the run
+	// returns no error, because draining is a graceful stop.
+	drain := make(chan struct{})
+	close(drain)
+	specs := []experiments.Spec{
+		mkSpec("a", time.Millisecond), mkSpec("b", time.Millisecond), mkSpec("c", time.Millisecond),
+	}
+	emitted := 0
+	man, err := Run(context.Background(), specs, Options{Jobs: 2, Drain: drain},
+		func(out Outcome) error { emitted++; return nil })
+	if err != nil {
+		t.Fatalf("drained run must not error: %v", err)
+	}
+	if len(man.Records) != len(specs) {
+		t.Fatalf("manifest records = %d, want %d", len(man.Records), len(specs))
+	}
+	for i, r := range man.Records {
+		if r.ID != specs[i].ID || !r.Cancelled {
+			t.Fatalf("record[%d] = %+v, want cancelled %s", i, r, specs[i].ID)
+		}
+	}
+	// The never-fed suffix gets synthetic manifest records only — the
+	// emit path sees nothing, so callers must treat a short emit count
+	// as interruption.
+	if emitted != 0 {
+		t.Fatalf("emit called %d times for unfed specs, want 0", emitted)
+	}
+}
+
+func TestDrainMidRunCompletesInFlight(t *testing.T) {
+	// Drain after the first spec starts: the in-flight spec completes
+	// and emits a real record; later specs are never fed.
+	drain := make(chan struct{})
+	started := make(chan struct{})
+	specs := []experiments.Spec{
+		{ID: "slow", Title: "slow", Run: func(ctx context.Context, cfg experiments.Config) (experiments.Result, error) {
+			close(started)
+			<-drain // hold until the drain fires, then finish normally
+			return &fakeResult{id: "slow", payload: "done"}, nil
+		}},
+		mkSpec("later", time.Millisecond),
+	}
+	go func() {
+		<-started
+		close(drain)
+	}()
+	man, err := Run(context.Background(), specs, Options{Jobs: 1, Drain: drain}, nil)
+	if err != nil {
+		t.Fatalf("drained run must not error: %v", err)
+	}
+	if man.Records[0].Failed() {
+		t.Fatalf("in-flight spec must complete: %+v", man.Records[0])
+	}
+	if !man.Records[1].Cancelled {
+		t.Fatalf("unfed spec must be cancelled: %+v", man.Records[1])
+	}
+}
