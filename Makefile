@@ -4,19 +4,26 @@
 GO ?= go
 
 # Hot-path benchmarks gated against committed BENCH_<date>.json
-# baselines. ns/op and allocs/op may regress at most BENCH_NS_TOL /
-# BENCH_ALLOC_TOL (fractions) before bench-check fails.
-BENCH_GATE_PAT  = ^(BenchmarkSimulatorThroughput|BenchmarkExtraction|BenchmarkSchedulePop|BenchmarkLRUTouch|BenchmarkWriteIdleCSV|BenchmarkSketchAdd)$$
+# baselines. Runs fold BENCH_COUNT repeats per benchmark so benchgate
+# records a variance; a regression must exceed the fractional floor
+# AND be statistically significant at 95% to fail. The ns/op floor is
+# wide by default because shared hosts drift through minutes-scale
+# load regimes ±25% — tighten it (BENCH_NS_TOL=0.10) on quiet
+# dedicated hardware. allocs/op is deterministic, so its floor stays
+# tight; it is the reliable regression tripwire everywhere.
+BENCH_GATE_PAT  = ^(BenchmarkSimulatorThroughput|BenchmarkBatchThroughput|BenchmarkExtraction|BenchmarkSchedulePop|BenchmarkCalendarSchedulePop|BenchmarkLRUTouch|BenchmarkWriteIdleCSV|BenchmarkSketchAdd)$$
 BENCH_GATE_PKGS = . ./internal/eventq ./internal/mem ./internal/trace ./internal/stats
-BENCH_NS_TOL    ?= 0.10
+BENCH_NS_TOL    ?= 0.25
 BENCH_ALLOC_TOL ?= 0.10
+BENCH_COUNT     ?= 5
+BENCH_RETRIES   ?= 3
 
 # Coverage floor (percent) for the hardware-profile layer: the packages
 # a machine.Profile threads through must stay well exercised.
 COVER_PKGS   = ./internal/machine ./internal/cpu ./internal/mem ./internal/disk
 COVER_FLOOR ?= 85
 
-.PHONY: all build vet test race verify bench bench-baseline bench-check cover doclint fuzz-smoke corpus-check campaign-check campaign-resume-check campaign-demo repro quick examples clean
+.PHONY: all build vet test race verify bench bench-baseline bench-check cover doclint fuzz-smoke corpus-check campaign-check campaign-resume-check campaign-demo batch-check repro quick examples clean
 
 all: build verify
 
@@ -39,8 +46,10 @@ race:
 # floor, LATLAB_SKIP_FUZZ=1 to skip the fuzz smoke,
 # LATLAB_SKIP_DOCLINT=1 to skip the documentation lint,
 # LATLAB_SKIP_CORPUS=1 to skip the scenario-corpus replay,
-# LATLAB_SKIP_CAMPAIGN=1 to skip the campaign-ledger replay, and
-# LATLAB_SKIP_RESUME=1 to skip the interrupt/resume reconvergence check.
+# LATLAB_SKIP_CAMPAIGN=1 to skip the campaign-ledger replay,
+# LATLAB_SKIP_RESUME=1 to skip the interrupt/resume reconvergence
+# check, and LATLAB_SKIP_BATCH=1 to skip the batched-engine
+# cross-check.
 # The campaign determinism and crash-safety tests themselves run under
 # -race via the race target above.
 verify: vet race
@@ -79,6 +88,11 @@ verify: vet race
 	else \
 		echo "campaign-resume-check skipped (LATLAB_SKIP_RESUME set)"; \
 	fi
+	@if [ -z "$$LATLAB_SKIP_BATCH" ]; then \
+		$(MAKE) --no-print-directory batch-check; \
+	else \
+		echo "batch-check skipped (LATLAB_SKIP_BATCH set)"; \
+	fi
 
 # Documentation gate: every internal package needs a package comment and
 # docs on its exported symbols, and every markdown link must resolve.
@@ -96,8 +110,11 @@ cover:
 			if (pct + 0 < floor) { printf "cover: %s below floor %d%%\n", $$2, floor; bad = 1 } } \
 		END { if (n < 4) { printf "cover: expected 4 covered packages, saw %d\n", n; exit 1 }; exit bad }'
 
-# 10 seconds of coverage-guided fuzzing per CSV parser. `go test` only
-# accepts one -fuzz pattern at a time, so each fuzzer gets its own run.
+# 10 seconds of coverage-guided fuzzing per fuzzer: the CSV/JSONL
+# parsers, the scenario DSL, and the differential event-queue check
+# (calendar vs reference heap on random schedule/cancel programs).
+# `go test` only accepts one -fuzz pattern at a time, so each fuzzer
+# gets its own run.
 FUZZ_TIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseIdleCSV$$' -fuzztime $(FUZZ_TIME) ./internal/trace
@@ -107,6 +124,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzScenarioParse$$' -fuzztime $(FUZZ_TIME) ./internal/scenario
 	$(GO) test -run '^$$' -fuzz '^FuzzParseLedger$$' -fuzztime $(FUZZ_TIME) ./internal/campaign
 	$(GO) test -run '^$$' -fuzz '^FuzzParseQuarantine$$' -fuzztime $(FUZZ_TIME) ./internal/campaign
+	$(GO) test -run '^$$' -fuzz '^FuzzQueueEquivalence$$' -fuzztime $(FUZZ_TIME) ./internal/eventq
 
 # Replay the committed scenario corpus (testdata/scenarios/) through
 # the full CLI path and diff every rendering against its golden; also
@@ -150,6 +168,25 @@ campaign-resume-check:
 	cmp $(CAMPAIGN_DIR)/demo-ledger.jsonl $$tmp/demo-ledger.jsonl && \
 	echo "campaign-resume-check: interrupted + resumed ledger matches the committed one byte-for-byte"
 
+# Cross-check the batched simulation core against the reference path:
+# the golden corpus replayed under -engine batched (plus the in-batch
+# session equivalence test), then the demo campaign on the reference
+# engine and at a non-default batch width, all byte-compared against
+# the committed artifacts. campaign-check covers the default
+# batched/-batch 8 configuration, so together the engine/batch matrix
+# is pinned end to end.
+batch-check:
+	$(GO) test -run '^TestCorpusGoldenBatched$$' ./cmd/latbench
+	$(GO) test -run '^TestBatchSessionEquivalence$$' ./internal/experiments
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/campaign run -spec $(CAMPAIGN_DIR)/demo.json \
+		-ledger $$tmp/ref-ledger.jsonl -quick -jobs $(CAMPAIGN_JOBS) -engine reference -batch 1 && \
+	cmp $(CAMPAIGN_DIR)/demo-ledger.jsonl $$tmp/ref-ledger.jsonl && \
+	$(GO) run ./cmd/campaign run -spec $(CAMPAIGN_DIR)/demo.json \
+		-ledger $$tmp/b64-ledger.jsonl -quick -jobs $(CAMPAIGN_JOBS) -engine batched -batch 64 && \
+	cmp $(CAMPAIGN_DIR)/demo-ledger.jsonl $$tmp/b64-ledger.jsonl && \
+	echo "batch-check: reference engine and -batch 64 reproduce the committed ledger byte-for-byte"
+
 # Regenerate the committed demo campaign ledger and report after an
 # intentional behaviour change. Commit both files.
 campaign-demo:
@@ -165,15 +202,30 @@ bench:
 
 # Record today's hot-path numbers as the new baseline. Commit the file.
 bench-baseline:
-	$(GO) test -bench '$(BENCH_GATE_PAT)' -benchmem -run '^$$' $(BENCH_GATE_PKGS) \
+	$(GO) test -bench '$(BENCH_GATE_PAT)' -benchmem -count=$(BENCH_COUNT) -run '^$$' $(BENCH_GATE_PKGS) \
 		| $(GO) run ./cmd/benchgate -record BENCH_$$(date +%Y-%m-%d).json
 
 # Fail if the hot paths regressed vs the newest committed baseline.
-# Pass BENCH_NS_TOL/BENCH_ALLOC_TOL to loosen, or add -skip-ns via
-# BENCH_CHECK_FLAGS when comparing across machines.
+# Pass BENCH_NS_TOL/BENCH_ALLOC_TOL to loosen the single-sample gates,
+# or add `-skip-ns -allow-cpu-mismatch` via BENCH_CHECK_FLAGS when
+# comparing across machines (benchgate refuses a cross-cpu ns/op
+# comparison outright). The gate retries up to BENCH_RETRIES attempts:
+# a genuine regression is code-driven and fails every attempt, while a
+# transient load spike on a shared host fails attempts independently,
+# so bounded retries filter ambient noise without loosening the
+# statistical gate itself.
 bench-check:
-	$(GO) test -bench '$(BENCH_GATE_PAT)' -benchmem -run '^$$' $(BENCH_GATE_PKGS) \
-		| $(GO) run ./cmd/benchgate -check -ns-tol $(BENCH_NS_TOL) -alloc-tol $(BENCH_ALLOC_TOL) $(BENCH_CHECK_FLAGS)
+	@i=1; while :; do \
+		if $(GO) test -bench '$(BENCH_GATE_PAT)' -benchmem -count=$(BENCH_COUNT) -run '^$$' $(BENCH_GATE_PKGS) \
+			| $(GO) run ./cmd/benchgate -check -ns-tol $(BENCH_NS_TOL) -alloc-tol $(BENCH_ALLOC_TOL) $(BENCH_CHECK_FLAGS); then \
+			break; \
+		fi; \
+		if [ $$i -ge $(BENCH_RETRIES) ]; then \
+			echo "bench-check: regression persisted across $(BENCH_RETRIES) attempts"; exit 1; \
+		fi; \
+		echo "bench-check: attempt $$i/$(BENCH_RETRIES) regressed; retrying in case of host noise"; \
+		i=$$((i+1)); \
+	done
 
 # Regenerate every table and figure at paper-sized workloads.
 repro:

@@ -9,14 +9,22 @@
 //	go test -bench ... -benchmem | benchgate -check [-dir .] [-ns-tol 0.10] [-alloc-tol 0.10]
 //
 // ns/op is wall-clock and inherently noisy; allocs/op is deterministic.
-// Both gates default to a 10% tolerance, overridable per run. A check
-// against a baseline recorded on different hardware can disable the
-// ns/op gate with -skip-ns while keeping the allocation gate strict.
+// Both gates apply a fractional tolerance on the means (default 10%,
+// overridable per run) as the practical-effect floor. Repeated lines of
+// the same benchmark (a `-count > 1` run) fold into a mean plus a
+// sample standard deviation, and the variance adds a statistical filter
+// on top of the floor: an exceedance only fails if it is also
+// significant at 95% one-sided confidence — a Welch t test when both
+// runs are multi-sample, the baseline's prediction interval when the
+// current run is a single sample — so run-to-run noise wider than the
+// tolerance band does not fail the build. Zero-variance folds
+// (identical repeats, e.g. allocs/op) keep the plain tolerance rule,
+// since a zero-width interval would flag any epsilon.
 //
-// Repeated lines of the same benchmark (a `-count > 1` run) fold into a
-// running mean, and each result records how many samples it averages in
-// its `samples` field — groundwork for confidence-interval gating; the
-// gates themselves still compare the means only.
+// ns/op is only comparable on the host that recorded the baseline, so
+// -check refuses a baseline whose `cpu` string differs from the
+// current run's (exit 2); -allow-cpu-mismatch overrides, typically
+// together with -skip-ns to keep only the allocation gate.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -34,9 +43,9 @@ import (
 )
 
 // Result is one benchmark's measured costs. With `-count > 1` the
-// metrics are means over the repeated runs and Samples records how many
-// lines were folded — the groundwork for confidence-interval gating,
-// not yet used by the gates themselves.
+// metrics are means over the repeated runs, Samples records how many
+// lines were folded, and NsStd/AllocStd carry the sample standard
+// deviations the confidence-interval gate runs on.
 type Result struct {
 	Pkg         string  `json:"pkg,omitempty"`
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -46,6 +55,12 @@ type Result struct {
 	// Samples is the number of benchmark lines folded into this result
 	// (1 for a plain -count=1 run; absent in pre-Samples baselines).
 	Samples int `json:"samples,omitempty"`
+	// NsStd and AllocStd are the sample standard deviations across the
+	// folded lines; present only when Samples > 1.
+	NsStd    float64 `json:"ns_std,omitempty"`
+	AllocStd float64 `json:"alloc_std,omitempty"`
+	// Welford M2 accumulators, live only while parsing.
+	nsM2, allocM2 float64
 }
 
 // Baseline is the recorded state of the benchmark suite.
@@ -71,6 +86,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	nsTol := fs.Float64("ns-tol", 0.10, "allowed fractional ns/op regression")
 	allocTol := fs.Float64("alloc-tol", 0.10, "allowed fractional allocs/op regression")
 	skipNs := fs.Bool("skip-ns", false, "skip the ns/op gate (cross-machine checks)")
+	allowCPU := fs.Bool("allow-cpu-mismatch", false, "check against a baseline recorded on a different cpu")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -127,6 +143,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "benchgate: no baseline benchmark results found in %s (re-record with `make bench-baseline`)\n", path)
 		return 2
 	}
+	// ns/op only means something on the host that recorded it: refuse a
+	// cross-machine comparison unless explicitly overridden.
+	if !*allowCPU && base.CPU != "" && cur.CPU != "" && base.CPU != cur.CPU {
+		fmt.Fprintf(stderr, "benchgate: baseline %s was recorded on cpu %q but this run is on %q; "+
+			"re-record with `make bench-baseline`, or pass -allow-cpu-mismatch (usually with -skip-ns) to compare anyway\n",
+			path, base.CPU, cur.CPU)
+		return 2
+	}
 
 	failures := compare(&base, cur, *nsTol, *allocTol, *skipNs)
 	names := make([]string, 0, len(cur.Benchmarks))
@@ -178,16 +202,90 @@ func compare(base, cur *Baseline, nsTol, allocTol float64, skipNs bool) []string
 			failures = append(failures, fmt.Sprintf("%s: in baseline but not in current run", name))
 			continue
 		}
-		if !skipNs && c.NsPerOp > b.NsPerOp*(1+nsTol) {
-			failures = append(failures, fmt.Sprintf("%s: ns/op %.0f exceeds baseline %.0f by more than %.0f%%",
-				name, c.NsPerOp, b.NsPerOp, nsTol*100))
+		if !skipNs {
+			if fail, why := regressed(b.NsPerOp, b.NsStd, b.Samples, c.NsPerOp, c.NsStd, c.Samples, nsTol); fail {
+				failures = append(failures, fmt.Sprintf("%s: ns/op %.0f vs baseline %.0f: %s",
+					name, c.NsPerOp, b.NsPerOp, why))
+			}
 		}
-		if c.AllocsPerOp > b.AllocsPerOp*(1+allocTol) {
-			failures = append(failures, fmt.Sprintf("%s: allocs/op %.0f exceeds baseline %.0f by more than %.0f%%",
-				name, c.AllocsPerOp, b.AllocsPerOp, allocTol*100))
+		if fail, why := regressed(b.AllocsPerOp, b.AllocStd, b.Samples, c.AllocsPerOp, c.AllocStd, c.Samples, allocTol); fail {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %.0f vs baseline %.0f: %s",
+				name, c.AllocsPerOp, b.AllocsPerOp, why))
 		}
 	}
 	return failures
+}
+
+// regressed gates one metric of cur against base. The fractional
+// tolerance on means is always the practical-effect floor: a change
+// inside it never fails. Beyond the floor, multi-sample variance data
+// makes the gate statistical as well — the exceedance must also be
+// significant at 95% one-sided (a Welch t test when both runs are
+// multi-sample, the baseline's prediction interval when the current
+// run is a single sample), so run-to-run noise wider than the
+// tolerance band does not fail the build. Single-sample or
+// zero-variance data keeps the plain tolerance rule. The returned
+// string explains a failure.
+func regressed(bMean, bStd float64, bN int, cMean, cStd float64, cN int, tol float64) (bool, string) {
+	if cMean <= bMean*(1+tol) {
+		return false, ""
+	}
+	if bN > 1 && bStd > 0 {
+		if cN > 1 {
+			se := math.Sqrt(bStd*bStd/float64(bN) + cStd*cStd/float64(cN))
+			t := (cMean - bMean) / se
+			df := welchDF(bStd, bN, cStd, cN)
+			crit := tCrit(df)
+			if t <= crit {
+				return false, ""
+			}
+			return true, fmt.Sprintf("exceeds by more than %.0f%% and is significant (Welch t %.2f > %.2f at 95%% one-sided, df %.1f, n %d vs %d)",
+				tol*100, t, crit, df, bN, cN)
+		}
+		bound := bMean + tCrit(float64(bN-1))*bStd*math.Sqrt(1+1/float64(bN))
+		if cMean <= bound {
+			return false, ""
+		}
+		return true, fmt.Sprintf("exceeds by more than %.0f%% and the 95%% prediction bound %.0f (baseline n=%d)",
+			tol*100, bound, bN)
+	}
+	return true, fmt.Sprintf("exceeds by more than %.0f%%", tol*100)
+}
+
+// welchDF is the Welch–Satterthwaite effective degrees of freedom for
+// two samples with standard deviations s1, s2 and sizes n1, n2 > 1.
+func welchDF(s1 float64, n1 int, s2 float64, n2 int) float64 {
+	v1 := s1 * s1 / float64(n1)
+	v2 := s2 * s2 / float64(n2)
+	den := v1*v1/float64(n1-1) + v2*v2/float64(n2-1)
+	if den == 0 {
+		return float64(n1 + n2 - 2)
+	}
+	return (v1 + v2) * (v1 + v2) / den
+}
+
+// tCrit is the one-sided 95% Student-t critical value for df degrees of
+// freedom, from a step table. Rounding is conservative: a df between
+// entries gates at the next-lower tabulated df's larger value, and only
+// an effectively-normal df reaches the 1.645 limit.
+func tCrit(df float64) float64 {
+	table := []struct{ df, t float64 }{
+		{1, 6.314}, {2, 2.920}, {3, 2.353}, {4, 2.132}, {5, 2.015},
+		{6, 1.943}, {7, 1.895}, {8, 1.860}, {9, 1.833}, {10, 1.812},
+		{12, 1.782}, {15, 1.753}, {20, 1.725}, {30, 1.697},
+		{60, 1.671}, {120, 1.658},
+	}
+	if df >= 1000 {
+		return 1.645
+	}
+	t := table[0].t
+	for _, e := range table {
+		if df < e.df {
+			break
+		}
+		t = e.t
+	}
+	return t
 }
 
 // newestBaseline returns the lexically greatest BENCH_*.json in dir —
@@ -245,16 +343,29 @@ func parseBenchOutput(r io.Reader) (*Baseline, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	// Finalize the Welford accumulators into sample standard deviations.
+	for name, res := range out.Benchmarks {
+		if res.Samples > 1 {
+			res.NsStd = math.Sqrt(res.nsM2 / float64(res.Samples-1))
+			res.AllocStd = math.Sqrt(res.allocM2 / float64(res.Samples-1))
+			out.Benchmarks[name] = res
+		}
+	}
 	return out, nil
 }
 
 // fold merges a repeated benchmark line into the accumulated result:
-// metrics become running means over the samples, iterations sum.
+// metrics become running means over the samples (with Welford M2
+// accumulation for the gated metrics' variance), iterations sum.
 func fold(acc, next Result) Result {
 	n := float64(acc.Samples)
+	nsDelta := next.NsPerOp - acc.NsPerOp
+	allocDelta := next.AllocsPerOp - acc.AllocsPerOp
 	acc.NsPerOp = (acc.NsPerOp*n + next.NsPerOp) / (n + 1)
 	acc.BytesPerOp = (acc.BytesPerOp*n + next.BytesPerOp) / (n + 1)
 	acc.AllocsPerOp = (acc.AllocsPerOp*n + next.AllocsPerOp) / (n + 1)
+	acc.nsM2 += nsDelta * (next.NsPerOp - acc.NsPerOp)
+	acc.allocM2 += allocDelta * (next.AllocsPerOp - acc.AllocsPerOp)
 	acc.Iterations += next.Iterations
 	acc.Samples++
 	return acc

@@ -123,6 +123,139 @@ func TestCompareGates(t *testing.T) {
 	}
 }
 
+func TestParseBenchOutputRecordsStddev(t *testing.T) {
+	repeated := `pkg: latlab
+BenchmarkX-8	100	1000 ns/op	64 B/op	4 allocs/op
+BenchmarkX-8	200	2000 ns/op	64 B/op	4 allocs/op
+BenchmarkX-8	300	3000 ns/op	64 B/op	4 allocs/op
+`
+	base, err := parseBenchOutput(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := base.Benchmarks["BenchmarkX"]
+	// Sample stddev of {1000, 2000, 3000} is exactly 1000; the identical
+	// allocs fold to zero variance.
+	if r.NsStd != 1000 || r.AllocStd != 0 {
+		t.Fatalf("stddev wrong: %+v", r)
+	}
+	// Single samples carry no stddev at all.
+	single, err := parseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := single.Benchmarks["BenchmarkExtraction"]; s.NsStd != 0 || s.AllocStd != 0 {
+		t.Fatalf("single sample grew a stddev: %+v", s)
+	}
+}
+
+func TestCompareConfidenceGate(t *testing.T) {
+	// Baseline: mean 1000 ns, sd 50 over 5 samples. The 10% tolerance is
+	// the practical-effect floor; beyond it the exceedance must also be
+	// statistically significant, so wide run-to-run noise cannot fail the
+	// build the way it would under the plain 10% rule.
+	base := &Baseline{Benchmarks: map[string]Result{
+		"BenchmarkA": {NsPerOp: 1000, NsStd: 50, AllocsPerOp: 100, Samples: 5},
+	}}
+	within := &Baseline{Benchmarks: map[string]Result{
+		"BenchmarkA": {NsPerOp: 1030, NsStd: 50, AllocsPerOp: 100, Samples: 5},
+	}}
+	if f := compare(base, within, 0.10, 0.10, false); len(f) != 0 {
+		t.Fatalf("mean inside the tolerance band must pass: %v", f)
+	}
+	// +15% but the current run's own variance is huge: beyond the floor
+	// yet insignificant (t ≈ 1.1), so it passes where the old rule would
+	// have failed the build on noise.
+	noisy := &Baseline{Benchmarks: map[string]Result{
+		"BenchmarkA": {NsPerOp: 1150, NsStd: 300, AllocsPerOp: 100, Samples: 5},
+	}}
+	if f := compare(base, noisy, 0.10, 0.10, false); len(f) != 0 {
+		t.Fatalf("insignificant exceedance must pass the t filter: %v", f)
+	}
+	// +15% with tight variance on both sides (t ≈ 4.7) is a real
+	// regression: beyond the floor and significant.
+	bad := &Baseline{Benchmarks: map[string]Result{
+		"BenchmarkA": {NsPerOp: 1150, NsStd: 50, AllocsPerOp: 100, Samples: 5},
+	}}
+	f := compare(base, bad, 0.10, 0.10, false)
+	if len(f) != 1 || !strings.Contains(f[0], "Welch t") {
+		t.Fatalf("significant exceedance must fail the t gate: %v", f)
+	}
+	// A multi-sample baseline checked by a single-sample run gates on the
+	// baseline's 95% prediction interval (here ≈ 1117): +11% is beyond
+	// the floor but inside the interval, so it passes.
+	single := &Baseline{Benchmarks: map[string]Result{
+		"BenchmarkA": {NsPerOp: 1110, AllocsPerOp: 100, Samples: 1},
+	}}
+	if f := compare(base, single, 0.10, 0.10, false); len(f) != 0 {
+		t.Fatalf("single sample inside the prediction interval must pass: %v", f)
+	}
+	singleBad := &Baseline{Benchmarks: map[string]Result{
+		"BenchmarkA": {NsPerOp: 1200, AllocsPerOp: 100, Samples: 1},
+	}}
+	f = compare(base, singleBad, 0.10, 0.10, false)
+	if len(f) != 1 || !strings.Contains(f[0], "prediction bound") {
+		t.Fatalf("single sample outside the prediction interval must fail: %v", f)
+	}
+	// Zero-variance metrics (deterministic allocs) keep the exact
+	// tolerance rule even on multi-sample data.
+	allocBad := &Baseline{Benchmarks: map[string]Result{
+		"BenchmarkA": {NsPerOp: 1000, NsStd: 50, AllocsPerOp: 150, Samples: 5},
+	}}
+	f = compare(base, allocBad, 0.10, 0.10, false)
+	if len(f) != 1 || !strings.Contains(f[0], "allocs/op") {
+		t.Fatalf("zero-variance alloc regression must fail the tolerance rule: %v", f)
+	}
+}
+
+func TestTCritTable(t *testing.T) {
+	// Spot-check the step table: exact entries, conservative rounding
+	// down between them, and the normal limit for huge df.
+	for _, tc := range []struct{ df, want float64 }{
+		{1, 6.314}, {4, 2.132}, {4.5, 2.132}, {10, 1.812}, {11, 1.812}, {1000, 1.645},
+	} {
+		if got := tCrit(tc.df); got != tc.want {
+			t.Errorf("tCrit(%v) = %v, want %v", tc.df, got, tc.want)
+		}
+	}
+}
+
+func TestCheckRefusesCPUMismatch(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut strings.Builder
+	if code := run([]string{"-record", filepath.Join(dir, "BENCH_2026-08-05.json")},
+		strings.NewReader(sampleOutput), &out, &errOut); code != 0 {
+		t.Fatalf("record exited %d: %s", code, errOut.String())
+	}
+	otherCPU := strings.Replace(sampleOutput, "Test CPU @ 3.0GHz", "Other CPU @ 2.0GHz", 1)
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-check", "-dir", dir}, strings.NewReader(otherCPU), &out, &errOut); code != 2 {
+		t.Fatalf("cpu mismatch exited %d, want 2: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "cpu") || !strings.Contains(errOut.String(), "-allow-cpu-mismatch") {
+		t.Fatalf("mismatch error should name the cpus and the override: %s", errOut.String())
+	}
+	// The override (with -skip-ns, the usual cross-machine pairing) lets
+	// the allocation gate run.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-check", "-dir", dir, "-allow-cpu-mismatch", "-skip-ns"},
+		strings.NewReader(otherCPU), &out, &errOut); code != 0 {
+		t.Fatalf("override exited %d: %s", code, errOut.String())
+	}
+	// A baseline without a cpu header (pre-guard recordings) still checks.
+	noCPU := strings.Replace(sampleOutput, "cpu: Test CPU @ 3.0GHz\n", "", 1)
+	dir2 := t.TempDir()
+	if code := run([]string{"-record", filepath.Join(dir2, "BENCH_2026-08-05.json")},
+		strings.NewReader(noCPU), &out, &errOut); code != 0 {
+		t.Fatalf("record exited %d: %s", code, errOut.String())
+	}
+	if code := run([]string{"-check", "-dir", dir2}, strings.NewReader(sampleOutput), &out, &errOut); code != 0 {
+		t.Fatalf("headerless baseline check exited %d: %s", code, errOut.String())
+	}
+}
+
 func TestRecordThenCheck(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_2026-08-05.json")

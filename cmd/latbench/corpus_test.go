@@ -66,6 +66,44 @@ func TestCorpusGolden(t *testing.T) {
 	}
 }
 
+// TestCorpusGoldenBatched replays the same corpus with -engine batched
+// and requires every rendering to match the reference goldens byte for
+// byte — the CLI-level proof that the calendar queue and analytic
+// idle-span elision change nothing observable. `make batch-check` runs
+// this; it never rewrites goldens (those belong to TestCorpusGolden).
+func TestCorpusGoldenBatched(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join(corpusDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatalf("no scenario documents in %s", corpusDir)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		path := path
+		doc, err := scenario.ParseFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		t.Run(doc.ID, func(t *testing.T) {
+			t.Parallel()
+			var out, errBuf strings.Builder
+			if code := run([]string{"-quick", "-engine", "batched", "-scenario", path}, &out, &errBuf); code != 0 {
+				t.Fatalf("exit %d: %s", code, errBuf.String())
+			}
+			want, err := os.ReadFile(filepath.Join("testdata", "golden", doc.ID+".txt"))
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test ./cmd/latbench -update`): %v", err)
+			}
+			if !bytes.Equal(want, []byte(out.String())) {
+				t.Fatalf("batched-engine output differs from the reference golden (lens %d vs %d):\n%s",
+					len(want), out.Len(), firstDiff(want, []byte(out.String())))
+			}
+		})
+	}
+}
+
 // TestRunCorpus exercises the -run corpus suite path end to end: every
 // document compiles, runs, and renders, and a scenario that pins a
 // machine conflicting with an explicit -machine is refused without

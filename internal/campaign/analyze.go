@@ -12,10 +12,13 @@ import (
 // ConfigStats is one configuration's distribution, merged across every
 // cell (seed subrange) the ledger holds for it.
 type ConfigStats struct {
-	// Scenario, Persona, Machine name the configuration.
+	// Scenario, Persona, Machine name the configuration; Faults is its
+	// fault-plan variant ("" when the records ran the template's own
+	// block).
 	Scenario string
 	Persona  string
 	Machine  string
+	Faults   string
 	// Cells and Sessions count the ledger records and sessions merged.
 	Cells    int
 	Sessions int
@@ -25,7 +28,7 @@ type ConfigStats struct {
 
 // Key returns the configuration key, matching Record.Config.
 func (c ConfigStats) Key() string {
-	return c.Scenario + "/" + c.Persona + "/" + c.Machine
+	return configKey(c.Scenario, c.Persona, c.Machine, c.Faults)
 }
 
 // NextCell is one suggested follow-up cell: a refined seed subrange of
@@ -35,10 +38,12 @@ type NextCell struct {
 	// Reason says which ranking produced the suggestion ("p99" or
 	// "jitter").
 	Reason string `json:"reason"`
-	// Scenario, Persona, Machine name the configuration to re-sweep.
+	// Scenario, Persona, Machine name the configuration to re-sweep;
+	// Faults carries the source cell's fault variant.
 	Scenario string `json:"scenario"`
 	Persona  string `json:"persona"`
 	Machine  string `json:"machine"`
+	Faults   string `json:"faults,omitempty"`
 	// SeedStart and SeedCount delimit the refined subrange: one half of
 	// the source cell's range.
 	SeedStart uint64 `json:"seed_start"`
@@ -100,7 +105,7 @@ func Analyze(records []Record) (*Analysis, error) {
 			i = len(a.Configs)
 			byKey[key] = i
 			a.Configs = append(a.Configs, ConfigStats{
-				Scenario: r.Scenario, Persona: r.Persona, Machine: r.Machine,
+				Scenario: r.Scenario, Persona: r.Persona, Machine: r.Machine, Faults: r.Faults,
 				Sketch: stats.NewSketch(r.Sketch.Alpha()),
 			})
 		}
@@ -172,18 +177,18 @@ func suggestNext(records []Record) []NextCell {
 			if half == 0 {
 				// A one-seed cell cannot refine further; re-suggest it whole.
 				next = append(next, NextCell{
-					Reason: reason, Scenario: r.Scenario, Persona: r.Persona, Machine: r.Machine,
+					Reason: reason, Scenario: r.Scenario, Persona: r.Persona, Machine: r.Machine, Faults: r.Faults,
 					SeedStart: r.SeedStart, SeedCount: r.SeedCount,
 				})
 				continue
 			}
 			next = append(next,
 				NextCell{
-					Reason: reason, Scenario: r.Scenario, Persona: r.Persona, Machine: r.Machine,
+					Reason: reason, Scenario: r.Scenario, Persona: r.Persona, Machine: r.Machine, Faults: r.Faults,
 					SeedStart: r.SeedStart, SeedCount: half,
 				},
 				NextCell{
-					Reason: reason, Scenario: r.Scenario, Persona: r.Persona, Machine: r.Machine,
+					Reason: reason, Scenario: r.Scenario, Persona: r.Persona, Machine: r.Machine, Faults: r.Faults,
 					SeedStart: r.SeedStart + uint64(half), SeedCount: r.SeedCount - half,
 				})
 		}
@@ -225,6 +230,7 @@ func (a *Analysis) NextSpec(scenarioPath map[string]string) (Spec, error) {
 			Scenario:  n.Scenario,
 			Persona:   n.Persona,
 			Machine:   n.Machine,
+			Faults:    n.Faults,
 			SeedStart: n.SeedStart,
 			SeedCount: n.SeedCount,
 		})
@@ -268,8 +274,14 @@ func (a *Analysis) Render(w io.Writer) error {
 	}
 	fmt.Fprintf(w, "\nsuggested_next (%d cells):\n", len(a.SuggestedNext))
 	for _, n := range a.SuggestedNext {
-		fmt.Fprintf(w, "  {\"reason\":%q,\"scenario\":%q,\"persona\":%q,\"machine\":%q,\"seed_start\":%d,\"seed_count\":%d}\n",
-			n.Reason, n.Scenario, n.Persona, n.Machine, n.SeedStart, n.SeedCount)
+		// The faults field renders only when set, so pre-faults-axis
+		// ledgers reproduce their committed reports byte for byte.
+		f := ""
+		if n.Faults != "" {
+			f = fmt.Sprintf(",\"faults\":%q", n.Faults)
+		}
+		fmt.Fprintf(w, "  {\"reason\":%q,\"scenario\":%q,\"persona\":%q,\"machine\":%q%s,\"seed_start\":%d,\"seed_count\":%d}\n",
+			n.Reason, n.Scenario, n.Persona, n.Machine, f, n.SeedStart, n.SeedCount)
 	}
 	return nil
 }

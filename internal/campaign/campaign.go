@@ -30,6 +30,7 @@ import (
 	"regexp"
 	"strings"
 
+	"latlab/internal/faults"
 	"latlab/internal/machine"
 	"latlab/internal/persona"
 	"latlab/internal/scenario"
@@ -52,6 +53,14 @@ type Spec struct {
 	Personas []string `json:"personas,omitempty"`
 	// Machines lists the hardware-profile short names to sweep.
 	Machines []string `json:"machines,omitempty"`
+	// Faults lists fault-plan variants to sweep: "none" (strip the
+	// template's fault block — a clean machine) or a fault kind name
+	// (faults.KindNames — derive that kind's windows from each session
+	// seed over the template's fault span, or the package default span
+	// when the template pins none). An absent axis keeps the template's
+	// own fault block, which is also what the variant "" means in
+	// explicit cells.
+	Faults []string `json:"faults,omitempty"`
 	// Scenarios lists scenario-document paths, relative to the spec
 	// file. Each must be a single-run document (no compare rows); its
 	// persona, machine, and seed are overridden per cell.
@@ -79,6 +88,8 @@ type CellRef struct {
 	Scenario string `json:"scenario"`
 	Persona  string `json:"persona"`
 	Machine  string `json:"machine"`
+	// Faults is the fault-plan variant ("" = the template's own block).
+	Faults string `json:"faults,omitempty"`
 	// SeedStart and SeedCount delimit the cell's seed range.
 	SeedStart uint64 `json:"seed_start"`
 	SeedCount int    `json:"seed_count"`
@@ -86,7 +97,18 @@ type CellRef struct {
 
 // ID returns the cell id the ref expands to, matching Cell.ID.
 func (c CellRef) ID() string {
-	return fmt.Sprintf("%s/%s/%s/%d+%d", c.Scenario, c.Persona, c.Machine, c.SeedStart, c.SeedCount)
+	return fmt.Sprintf("%s/%d+%d", configKey(c.Scenario, c.Persona, c.Machine, c.Faults), c.SeedStart, c.SeedCount)
+}
+
+// configKey builds the configuration key shared by cell ids, ledger
+// records, and analyze groupings. The faults segment appears only when
+// a variant is set, so pre-faults-axis ids are unchanged.
+func configKey(scenario, persona, machine, faults string) string {
+	key := scenario + "/" + persona + "/" + machine
+	if faults != "" {
+		key += "/" + faults
+	}
+	return key
 }
 
 // SeedBlock sizes the seed axis of the cube.
@@ -112,7 +134,11 @@ func (s Spec) Sessions() int {
 		}
 		return n
 	}
-	return len(s.Scenarios) * len(s.Personas) * len(s.Machines) * s.Seeds.Count
+	n := len(s.Scenarios) * len(s.Personas) * len(s.Machines) * s.Seeds.Count
+	if len(s.Faults) > 0 {
+		n *= len(s.Faults)
+	}
+	return n
 }
 
 // specIDPattern mirrors the scenario slug grammar.
@@ -161,6 +187,18 @@ func (s Spec) Validate() error {
 		}
 		seen["m:"+m] = true
 	}
+	for _, f := range s.Faults {
+		if f == "" {
+			return fmt.Errorf("campaign %s: empty fault variant (omit the faults axis to keep the template's block)", s.ID)
+		}
+		if err := validFaultVariant(f); err != nil {
+			return fmt.Errorf("campaign %s: %w", s.ID, err)
+		}
+		if seen["f:"+f] {
+			return fmt.Errorf("campaign %s: duplicate fault variant %q", s.ID, f)
+		}
+		seen["f:"+f] = true
+	}
 	if len(s.Scenarios) == 0 {
 		return fmt.Errorf("campaign %s: no scenarios", s.ID)
 	}
@@ -180,8 +218,8 @@ func (s Spec) Validate() error {
 // axes alongside it, every referenced persona and machine valid, sane
 // seed ranges, and no duplicate cells.
 func (s Spec) validateCells() error {
-	if len(s.Personas) > 0 || len(s.Machines) > 0 || s.Seeds != (SeedBlock{}) {
-		return fmt.Errorf("campaign %s: cells and cube axes (personas/machines/seeds) are mutually exclusive", s.ID)
+	if len(s.Personas) > 0 || len(s.Machines) > 0 || len(s.Faults) > 0 || s.Seeds != (SeedBlock{}) {
+		return fmt.Errorf("campaign %s: cells and cube axes (personas/machines/faults/seeds) are mutually exclusive", s.ID)
 	}
 	if len(s.Scenarios) == 0 {
 		return fmt.Errorf("campaign %s: no scenarios", s.ID)
@@ -199,6 +237,11 @@ func (s Spec) validateCells() error {
 			return fmt.Errorf("campaign %s: cell %d: unknown machine %q (valid: %s)",
 				s.ID, i, c.Machine, strings.Join(machine.Shorts(), ", "))
 		}
+		if c.Faults != "" {
+			if err := validFaultVariant(c.Faults); err != nil {
+				return fmt.Errorf("campaign %s: cell %d: %w", s.ID, i, err)
+			}
+		}
 		if c.SeedStart < 1 {
 			return fmt.Errorf("campaign %s: cell %d: seed_start must be >= 1", s.ID, i)
 		}
@@ -209,6 +252,23 @@ func (s Spec) validateCells() error {
 			return fmt.Errorf("campaign %s: duplicate cell %s", s.ID, c.ID())
 		}
 		seen[c.ID()] = true
+	}
+	return nil
+}
+
+// FaultNone is the fault-axis variant that strips the scenario
+// template's fault block: the cell runs on a clean machine.
+const FaultNone = "none"
+
+// validFaultVariant checks one fault-axis value: FaultNone or a fault
+// kind name.
+func validFaultVariant(v string) error {
+	if v == FaultNone {
+		return nil
+	}
+	if _, ok := faults.KindByName(v); !ok {
+		return fmt.Errorf("unknown fault variant %q (valid: %s, %s)",
+			v, FaultNone, strings.Join(faults.KindNames(), ", "))
 	}
 	return nil
 }

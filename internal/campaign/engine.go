@@ -7,9 +7,11 @@ import (
 	"time"
 
 	"latlab/internal/experiments"
+	"latlab/internal/kernel"
 	"latlab/internal/runner"
 	"latlab/internal/scenario"
 	"latlab/internal/stats"
+	"latlab/internal/system"
 )
 
 // Options tunes a campaign run.
@@ -60,6 +62,17 @@ type Options struct {
 	// uses to append the sidecar crash-safely while the run continues. A
 	// returned error stops the run like an emit error.
 	OnQuarantine func(Quarantine) error
+	// Engine selects the kernel engine every session boots on. The zero
+	// value is the reference engine; cmd/campaign defaults to
+	// kernel.BatchedEngine(). Both produce byte-identical ledgers.
+	Engine kernel.Engine
+	// Batch is the number of machines each worker steps as one
+	// system.Batch; <= 1 runs sessions one at a time (the reference
+	// path). The ledger bytes are identical for every value: sessions
+	// are opened, stepped, and folded in seed order either way. Cells
+	// whose scenario has no single-session decomposition (compare
+	// scenarios) fall back to the sequential path automatically.
+	Batch int
 }
 
 // SketchAlpha resolves the sketch accuracy the options run with —
@@ -102,6 +115,9 @@ type Cell struct {
 	Scenario string
 	Persona  string
 	Machine  string
+	// Faults is the fault-plan variant applied to the template ("" =
+	// the template's own block; see Spec.Faults).
+	Faults string
 	// SeedStart and SeedCount delimit the seed subrange.
 	SeedStart uint64
 	SeedCount int
@@ -109,14 +125,14 @@ type Cell struct {
 
 // ID returns the cell id used in ledger records and error messages.
 func (c Cell) ID() string {
-	return fmt.Sprintf("%s/%s/%s/%d+%d", c.Scenario, c.Persona, c.Machine, c.SeedStart, c.SeedCount)
+	return fmt.Sprintf("%s/%d+%d", configKey(c.Scenario, c.Persona, c.Machine, c.Faults), c.SeedStart, c.SeedCount)
 }
 
 // Cells expands the campaign into cells in canonical order. For a cube
-// spec that is scenario-major, then persona, then machine, then
-// ascending seed chunks — the order records appear in the ledger. For
-// an explicit cell-list spec it is simply the listed order, one engine
-// cell per CellRef.
+// spec that is scenario-major, then persona, then machine, then fault
+// variant, then ascending seed chunks — the order records appear in
+// the ledger. For an explicit cell-list spec it is simply the listed
+// order, one engine cell per CellRef.
 func Cells(c *Campaign) []Cell {
 	var out []Cell
 	if len(c.Spec.Cells) > 0 {
@@ -129,48 +145,96 @@ func Cells(c *Campaign) []Cell {
 			d.Persona = ref.Persona
 			d.Machine = ref.Machine
 			d.Seed = 0
+			applyFaultVariant(&d, ref.Faults)
 			out = append(out, Cell{
 				Index:     i,
 				Doc:       d,
 				Scenario:  ref.Scenario,
 				Persona:   ref.Persona,
 				Machine:   ref.Machine,
+				Faults:    ref.Faults,
 				SeedStart: ref.SeedStart,
 				SeedCount: ref.SeedCount,
 			})
 		}
 		return out
 	}
+	// An absent faults axis expands as the single variant "": keep the
+	// template's fault block, and omit the faults segment from cell ids
+	// so pre-axis ledgers stay byte-identical.
+	variants := c.Spec.Faults
+	if len(variants) == 0 {
+		variants = []string{""}
+	}
 	for si, doc := range c.Docs {
 		for _, p := range c.Spec.Personas {
 			for _, m := range c.Spec.Machines {
-				start := c.Spec.Seeds.Start
-				remaining := c.Spec.Seeds.Count
-				for remaining > 0 {
-					n := c.Spec.Seeds.PerCell
-					if n > remaining {
-						n = remaining
+				for _, f := range variants {
+					start := c.Spec.Seeds.Start
+					remaining := c.Spec.Seeds.Count
+					for remaining > 0 {
+						n := c.Spec.Seeds.PerCell
+						if n > remaining {
+							n = remaining
+						}
+						d := c.Docs[si]
+						d.Persona = p
+						d.Machine = m
+						d.Seed = 0
+						applyFaultVariant(&d, f)
+						out = append(out, Cell{
+							Index:     len(out),
+							Doc:       d,
+							Scenario:  doc.ID,
+							Persona:   p,
+							Machine:   m,
+							Faults:    f,
+							SeedStart: start,
+							SeedCount: n,
+						})
+						start += uint64(n)
+						remaining -= n
 					}
-					d := c.Docs[si]
-					d.Persona = p
-					d.Machine = m
-					d.Seed = 0
-					out = append(out, Cell{
-						Index:     len(out),
-						Doc:       d,
-						Scenario:  doc.ID,
-						Persona:   p,
-						Machine:   m,
-						SeedStart: start,
-						SeedCount: n,
-					})
-					start += uint64(n)
-					remaining -= n
 				}
 			}
 		}
 	}
 	return out
+}
+
+// Default fault span for derived variants when the scenario template
+// pins none: windows are placed inside the first 10 simulated seconds
+// (2 in -quick mode), matching the spans the committed fault scenarios
+// use.
+const (
+	DefaultFaultSpanS      = 10.0
+	DefaultQuickFaultSpanS = 2.0
+)
+
+// applyFaultVariant rewrites the cell's scenario document for one
+// fault-axis variant: "" keeps the template's block, FaultNone strips
+// it, and a kind name replaces it with a seed-derived plan of that
+// kind — spanned like the template's own derived block when it has
+// one, else over the package default span.
+func applyFaultVariant(d *scenario.Doc, variant string) {
+	switch variant {
+	case "":
+	case FaultNone:
+		d.Faults = nil
+	default:
+		span, quickSpan := DefaultFaultSpanS, DefaultQuickFaultSpanS
+		if f := d.Faults; f != nil && f.SpanS > 0 {
+			span = f.SpanS
+			if f.QuickSpanS > 0 {
+				quickSpan = f.QuickSpanS
+			}
+		}
+		d.Faults = &scenario.FaultSpec{
+			Kinds:      []string{variant},
+			SpanS:      span,
+			QuickSpanS: quickSpan,
+		}
+	}
 }
 
 // Summary totals a completed campaign run.
@@ -322,6 +386,7 @@ func cellQuarantine(campaignID string, cell Cell, quick bool, attempts int, errM
 		Scenario:  cell.Scenario,
 		Persona:   cell.Persona,
 		Machine:   cell.Machine,
+		Faults:    cell.Faults,
 		SeedStart: cell.SeedStart,
 		SeedCount: cell.SeedCount,
 		Quick:     quick,
@@ -357,7 +422,7 @@ func cellSpec(campaignID string, cell Cell, alpha float64, opt Options) experime
 					err = opt.Inject(ctx, cell, attempt)
 				}
 				if err == nil {
-					rec, err = runCell(ctx, campaignID, cell, alpha, opt.Quick)
+					rec, err = runCell(ctx, campaignID, cell, alpha, opt)
 				}
 				if err == nil {
 					return &cellResult{id: cell.ID(), rec: rec}, nil
@@ -388,34 +453,30 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// runCell executes a cell's sessions sequentially in seed order,
-// folding every event latency into one sketch and returning the
-// finished ledger record. Each session's result is discarded after
-// folding, so memory stays flat at any population size.
-func runCell(ctx context.Context, campaignID string, cell Cell, alpha float64, quick bool) (Record, error) {
-	spec, err := experiments.FromScenario(cell.Doc)
-	if err != nil {
-		return Record{}, err
-	}
+// runCell executes a cell's sessions in seed order, folding every
+// event latency into one sketch and returning the finished ledger
+// record. Each session's result is discarded after folding, so memory
+// stays flat at any population size. With opt.Batch > 1, sessions run
+// interleaved as a system.Batch in waves of the batch size — opened,
+// stepped, and folded in seed order, so the record (and the ledger) is
+// byte-identical to the sequential path.
+func runCell(ctx context.Context, campaignID string, cell Cell, alpha float64, opt Options) (Record, error) {
 	sk := stats.NewSketch(alpha)
 	sessions := 0
-	for i := 0; i < cell.SeedCount; i++ {
-		if err := ctx.Err(); err != nil {
-			return Record{}, err
-		}
-		seed := cell.SeedStart + uint64(i)
-		res, err := spec.Run(ctx, experiments.Config{Seed: seed, Quick: quick})
-		if err != nil {
-			return Record{}, fmt.Errorf("seed %d: %w", seed, err)
-		}
-		sr, ok := res.(*experiments.ScenarioResult)
-		if !ok {
-			return Record{}, fmt.Errorf("seed %d: unexpected result type %T", seed, res)
-		}
+	fold := func(sr *experiments.ScenarioResult) {
 		for _, ms := range sr.Row.Report.Latencies() {
 			sk.Add(ms)
 		}
 		sessions++
+	}
+	var err error
+	if opt.Batch > 1 && len(cell.Doc.Compare) == 0 {
+		err = runCellBatched(ctx, cell, opt, fold)
+	} else {
+		err = runCellSequential(ctx, cell, opt, fold)
+	}
+	if err != nil {
+		return Record{}, err
 	}
 	return Record{
 		Schema:    RecordSchemaVersion,
@@ -423,9 +484,10 @@ func runCell(ctx context.Context, campaignID string, cell Cell, alpha float64, q
 		Scenario:  cell.Scenario,
 		Persona:   cell.Persona,
 		Machine:   cell.Machine,
+		Faults:    cell.Faults,
 		SeedStart: cell.SeedStart,
 		SeedCount: cell.SeedCount,
-		Quick:     quick,
+		Quick:     opt.Quick,
 		Sessions:  sessions,
 		Events:    sk.Count(),
 		P50Ms:     sk.Quantile(0.50),
@@ -436,4 +498,81 @@ func runCell(ctx context.Context, campaignID string, cell Cell, alpha float64, q
 		JitterMs:  sk.StdDev(),
 		Sketch:    sk,
 	}, nil
+}
+
+// runCellSequential is the reference path: one session at a time.
+func runCellSequential(ctx context.Context, cell Cell, opt Options, fold func(*experiments.ScenarioResult)) error {
+	spec, err := experiments.FromScenario(cell.Doc)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < cell.SeedCount; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		seed := cell.SeedStart + uint64(i)
+		res, err := spec.Run(ctx, experiments.Config{Seed: seed, Quick: opt.Quick, Engine: opt.Engine})
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+		sr, ok := res.(*experiments.ScenarioResult)
+		if !ok {
+			return fmt.Errorf("seed %d: unexpected result type %T", seed, res)
+		}
+		fold(sr)
+	}
+	return nil
+}
+
+// runCellBatched steps the cell's sessions opt.Batch machines at a
+// time on this worker: each wave opens its sessions in seed order
+// (reusing the batch's per-slot sample arenas), interleaves their
+// stepping earliest-target-first, then extracts and folds in seed
+// order. Abandoned sessions are closed if a sibling's open fails.
+func runCellBatched(ctx context.Context, cell Cell, opt Options, fold func(*experiments.ScenarioResult)) error {
+	if err := cell.Doc.Validate(); err != nil {
+		return err
+	}
+	b := system.NewBatch(opt.Batch)
+	open := make([]*experiments.ScenarioSession, opt.Batch)
+	for base := 0; base < cell.SeedCount; base += opt.Batch {
+		n := opt.Batch
+		if rest := cell.SeedCount - base; n > rest {
+			n = rest
+		}
+		err := func() error {
+			defer func() {
+				for _, s := range open {
+					if s != nil {
+						s.Close()
+					}
+				}
+			}()
+			for i := 0; i < n; i++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				seed := cell.SeedStart + uint64(base+i)
+				s, err := experiments.OpenScenarioSession(experiments.Config{
+					Seed: seed, Quick: opt.Quick, Engine: opt.Engine, IdleArena: b.Arena(i),
+				}, cell.Doc)
+				if err != nil {
+					return fmt.Errorf("seed %d: %w", seed, err)
+				}
+				open[i] = s
+				b.Open(i, s)
+			}
+			b.Run()
+			return nil
+		}()
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			fold(open[i].Result())
+			open[i] = nil
+		}
+		b.Reset()
+	}
+	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"latlab/internal/kernel"
 	"latlab/internal/stats"
 )
 
@@ -13,12 +14,18 @@ import (
 // and returns the ledger bytes and run summary.
 func runMini(t *testing.T, jobs int) ([]byte, Summary) {
 	t.Helper()
+	return runMiniOpt(t, Options{Jobs: jobs, Quick: true})
+}
+
+// runMiniOpt is runMini with full control over the run options.
+func runMiniOpt(t *testing.T, opt Options) ([]byte, Summary) {
+	t.Helper()
 	c, err := LoadSpec("testdata/mini.json")
 	if err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	sum, err := Run(context.Background(), c, Options{Jobs: jobs, Quick: true},
+	sum, err := Run(context.Background(), c, opt,
 		func(r Record) error { return AppendRecord(&buf, r) })
 	if err != nil {
 		t.Fatal(err)
@@ -82,6 +89,24 @@ func TestRunShardingInvariant(t *testing.T) {
 		got, _ := runMini(t, jobs)
 		if !bytes.Equal(base, got) {
 			t.Errorf("ledger differs between -jobs 1 and -jobs %d", jobs)
+		}
+	}
+}
+
+// TestRunBatchInvariant is the engine/batch determinism gate: the
+// ledger must be byte-identical on the reference engine and on the
+// batched engine at every batch size — singleton waves, partial waves
+// (4 against 6-seed cells), and one wave far wider than any cell.
+func TestRunBatchInvariant(t *testing.T) {
+	base, _ := runMiniOpt(t, Options{Jobs: 2, Quick: true})
+	for _, opt := range []Options{
+		{Jobs: 2, Quick: true, Engine: kernel.BatchedEngine(), Batch: 1},
+		{Jobs: 2, Quick: true, Engine: kernel.BatchedEngine(), Batch: 4},
+		{Jobs: 2, Quick: true, Engine: kernel.BatchedEngine(), Batch: 64},
+	} {
+		got, _ := runMiniOpt(t, opt)
+		if !bytes.Equal(base, got) {
+			t.Errorf("ledger differs between the reference path and the batched engine at -batch %d", opt.Batch)
 		}
 	}
 }

@@ -24,10 +24,13 @@ type Record struct {
 	Schema int `json:"schema"`
 	// Campaign is the spec id the cell belongs to.
 	Campaign string `json:"campaign"`
-	// Scenario, Persona, Machine name the cell's configuration.
+	// Scenario, Persona, Machine name the cell's configuration;
+	// Faults is its fault-plan variant ("" pre-faults-axis, omitted
+	// from the JSON so old ledgers stay canonical).
 	Scenario string `json:"scenario"`
 	Persona  string `json:"persona"`
 	Machine  string `json:"machine"`
+	Faults   string `json:"faults,omitempty"`
 	// SeedStart and SeedCount delimit the cell's contiguous seed range.
 	SeedStart uint64 `json:"seed_start"`
 	SeedCount int    `json:"seed_count"`
@@ -53,7 +56,7 @@ type Record struct {
 // Config returns the record's configuration key: the cube coordinates
 // minus the seed axis.
 func (r Record) Config() string {
-	return r.Scenario + "/" + r.Persona + "/" + r.Machine
+	return configKey(r.Scenario, r.Persona, r.Machine, r.Faults)
 }
 
 // Cell returns the record's full cell id, unique within a campaign.

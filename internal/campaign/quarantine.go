@@ -26,10 +26,13 @@ type Quarantine struct {
 	Schema int `json:"schema"`
 	// Campaign is the spec id the cell belongs to.
 	Campaign string `json:"campaign"`
-	// Scenario, Persona, Machine name the cell's configuration.
+	// Scenario, Persona, Machine name the cell's configuration;
+	// Faults is its fault-plan variant ("" when the cell ran the
+	// template's own block).
 	Scenario string `json:"scenario"`
 	Persona  string `json:"persona"`
 	Machine  string `json:"machine"`
+	Faults   string `json:"faults,omitempty"`
 	// SeedStart and SeedCount delimit the cell's seed range — the exact
 	// seeds a retry re-runs.
 	SeedStart uint64 `json:"seed_start"`
@@ -46,7 +49,7 @@ type Quarantine struct {
 // Cell returns the entry's full cell id, matching Record.Cell and
 // Cell.ID.
 func (q Quarantine) Cell() string {
-	return fmt.Sprintf("%s/%s/%s/%d+%d", q.Scenario, q.Persona, q.Machine, q.SeedStart, q.SeedCount)
+	return fmt.Sprintf("%s/%d+%d", configKey(q.Scenario, q.Persona, q.Machine, q.Faults), q.SeedStart, q.SeedCount)
 }
 
 // Validate checks a parsed entry's invariants, so a corrupted or

@@ -40,15 +40,28 @@ type IdleLoop struct {
 	buf    *trace.Buffer
 	thread *kernel.Thread
 	n      int64
+	freq   simtime.Hz
+	// start is the cycle-counter reading at the current iteration's
+	// start. It lives on the struct rather than the loop closure so the
+	// bulk-elision path (OnBulk) can roll it forward.
+	start int64
 }
 
 // StartIdleLoop calibrates and spawns the instrument with a trace buffer
 // of bufCap samples. The instrument stops when the buffer fills.
 func StartIdleLoop(k *kernel.Kernel, bufCap int) *IdleLoop {
+	return StartIdleLoopBuffer(k, trace.NewBuffer(bufCap))
+}
+
+// StartIdleLoopBuffer is StartIdleLoop recording into a caller-supplied
+// buffer — the batch engine reuses one arena-backed buffer per machine
+// slot across sessions (trace.NewBufferBacked).
+func StartIdleLoopBuffer(k *kernel.Kernel, buf *trace.Buffer) *IdleLoop {
 	il := &IdleLoop{
-		k:   k,
-		buf: trace.NewBuffer(bufCap),
-		n:   CalibrateN(k.CPU().Freq),
+		k:    k,
+		buf:  buf,
+		n:    CalibrateN(k.CPU().Freq),
+		freq: k.CPU().Freq,
 	}
 	loopSeg := cpu.Segment{
 		Name:         "idle-busywait",
@@ -67,24 +80,74 @@ func StartIdleLoop(k *kernel.Kernel, bufCap int) *IdleLoop {
 		CodePages:    []uint64{40},
 		DataPages:    []uint64{42},
 	}
-	freq := k.CPU().Freq
-	il.thread = k.Spawn("idleloop", kernel.KernelProc, kernel.IdlePriority, func(tc *kernel.TC) {
-		for !il.buf.Full() {
-			start := tc.Cycles()
-			// One batched request per sample: the busy-wait and the
-			// record generation cost exactly what two Compute calls
-			// would, but the simulator handshake fires once per record
-			// — keeping the instrument's own overhead minimal, as the
-			// paper requires of its idle loop (§2.2).
-			tc.Compute2(loopSeg, recordSeg)
-			end := tc.Cycles()
+	// The instrument is a kernel-resident loop thread: one invocation per
+	// sample, no goroutine handshake. Each invocation first logs the
+	// iteration that just completed, then starts the next one — the same
+	// request stream (Compute2 per sample, then exit) and the same sample
+	// values as the goroutine form, proven by the golden corpus.
+	first := true
+	il.thread = k.SpawnLoop("idleloop", kernel.KernelProc, kernel.IdlePriority, func(lc *kernel.LoopTC) bool {
+		if !first {
+			end := lc.Cycles()
 			il.buf.Append(trace.IdleSample{
-				Done:    simtime.Time(freq.DurationOf(end)),
-				Elapsed: freq.DurationOf(end - start),
+				Done:    simtime.Time(il.freq.DurationOf(end)),
+				Elapsed: il.freq.DurationOf(end - il.start),
 			})
 		}
+		first = false
+		if il.buf.Full() {
+			return false
+		}
+		il.start = lc.Cycles()
+		// One batched request per sample: the busy-wait and the record
+		// generation cost exactly what two Compute calls would, but the
+		// kernel processes one request per record — keeping the
+		// instrument's own overhead minimal, as the paper requires of
+		// its idle loop (§2.2).
+		lc.Compute2(loopSeg, recordSeg)
+		return true
 	})
+	il.thread.SetBulkLoop(il)
 	return il
+}
+
+// BulkBudget bounds analytic elision to the buffer space left, minus one
+// so the straddling cycle's own sample still fits — the elided span must
+// end with the instrument in a state the slow path could also reach.
+func (il *IdleLoop) BulkBudget() int64 {
+	b := int64(il.buf.Cap()-il.buf.Len()) - 1
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// OnBulk appends the samples that n elided clean cycles would have
+// recorded. Each cycle's Done/Elapsed reproduce the slow path's exact
+// arithmetic — cycle boundaries quantised through the cycle counter —
+// and il.start rolls forward to the straddling cycle's start, which the
+// loop function already stamped at the span's beginning.
+func (il *IdleLoop) OnBulk(n int64, start simtime.Time, cycle simtime.Duration) {
+	// end_i = (start + i*cycle) / period, carried incrementally as a
+	// quotient/remainder pair so the loop divides once at setup instead
+	// of once per sample. The arithmetic is exact — identical to the
+	// per-sample CycleAt the slow path computes.
+	period := int64(simtime.Second) / int64(il.freq)
+	first := int64(start) + int64(cycle)
+	end, rem := first/period, first%period
+	dq, dr := int64(cycle)/period, int64(cycle)%period
+	for i := int64(1); i <= n; i++ {
+		il.buf.Append(trace.IdleSample{
+			Done:    simtime.Time(end * period),
+			Elapsed: simtime.Duration((end - il.start) * period),
+		})
+		il.start = end
+		end += dq
+		if rem += dr; rem >= period {
+			end++
+			rem -= period
+		}
+	}
 }
 
 // Samples returns the recorded idle samples.

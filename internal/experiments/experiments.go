@@ -23,6 +23,7 @@ import (
 	"latlab/internal/simtime"
 	"latlab/internal/spans"
 	"latlab/internal/system"
+	"latlab/internal/trace"
 )
 
 // Config tunes an experiment run.
@@ -47,6 +48,19 @@ type Config struct {
 	// without it, same-named tracks from different experiments would get
 	// completion-order-dependent "#n" suffixes.
 	TraceTag string
+	// Engine selects the simulation-core strategy for every machine this
+	// run boots. The zero value is the reference engine; the batched
+	// engine (kernel.BatchedEngine) produces byte-identical results
+	// faster. Campaigns default to batched; goldens pin the reference.
+	Engine kernel.Engine
+	// IdleArena, when non-nil, points at a reusable backing array for
+	// the idle-loop instrument's sample buffer. The rig grows the arena
+	// to the capacity it needs (writing the grown array back through the
+	// pointer) and records into it instead of allocating fresh — the
+	// batch engine keeps one arena per machine slot across sessions. The
+	// buffer's capacity is the same either way, so recorded behaviour is
+	// identical.
+	IdleArena *[]trace.IdleSample
 }
 
 // DefaultConfig returns the paper-sized configuration.
@@ -251,9 +265,18 @@ func newRig(cfg Config, p persona.P, runSeconds int) *rig {
 // newRigOn boots persona p on an explicit hardware profile; the ext-hw
 // scenario-matrix experiments use it to compare machines side by side.
 func newRigOn(cfg Config, p persona.P, prof machine.Profile, runSeconds int) *rig {
-	sys := system.New(system.Config{Persona: p, Machine: prof})
+	sys := system.New(system.Config{Persona: p, Machine: prof, Engine: cfg.Engine})
 	pr := core.AttachProbe(sys.K)
-	il := core.StartIdleLoop(sys.K, runSeconds*1100+10_000)
+	bufCap := runSeconds*1100 + 10_000
+	var il *core.IdleLoop
+	if cfg.IdleArena != nil {
+		if cap(*cfg.IdleArena) < bufCap {
+			*cfg.IdleArena = make([]trace.IdleSample, 0, bufCap)
+		}
+		il = core.StartIdleLoopBuffer(sys.K, trace.NewBufferBacked((*cfg.IdleArena)[:0:bufCap]))
+	} else {
+		il = core.StartIdleLoop(sys.K, bufCap)
+	}
 	r := &rig{sys: sys, pr: pr, il: il}
 	if cfg.Trace != nil {
 		r.col = cfg.Trace

@@ -88,14 +88,18 @@ func (r *ExtFaultsResult) Artifacts() []Artifact {
 func faultsTarget(r *rig, needBackground bool) faults.Target {
 	t := faults.Target{K: r.sys.K, BoostPrio: system.AppPrio + 2}
 	if needBackground {
-		t.Background = r.sys.K.Spawn("indexer", kernel.KernelProc, system.BackgroundPrio, func(tc *kernel.TC) {
-			burst := r.sys.P.Kernel.ClockInterrupt
-			burst.Name = "indexer"
-			burst.BaseCycles = 1_200_000 // 12 ms at 100 MHz
-			for {
-				tc.Sleep(40 * simtime.Millisecond)
-				tc.Compute(burst)
+		burst := r.sys.P.Kernel.ClockInterrupt
+		burst.Name = "indexer"
+		burst.BaseCycles = 1_200_000 // 12 ms at 100 MHz
+		sleep := true
+		t.Background = r.sys.K.SpawnLoop("indexer", kernel.KernelProc, system.BackgroundPrio, func(lc *kernel.LoopTC) bool {
+			if sleep {
+				lc.Sleep(40 * simtime.Millisecond)
+			} else {
+				lc.Compute(burst)
 			}
+			sleep = !sleep
+			return true
 		})
 	}
 	return t
@@ -108,6 +112,14 @@ func faultsTarget(r *rig, needBackground bool) faults.Target {
 // PageDowns means the full paper task ([9,10,10]), and each PageDowns
 // entry is one OLE edit.
 func faultsPPT(label string, cfg Config, sc scRun, plan faults.Plan) ExtFaultsRow {
+	return openPPT(label, cfg, sc, plan).run()
+}
+
+// openPPT boots the PowerPoint session without running it; the chain
+// driver is installed and the session's milestone program replicates
+// runChain (500 ms poll slices, then 2 s trailing quiescence so the
+// FSM end matches the probe's last records).
+func openPPT(label string, cfg Config, sc scRun, plan faults.Plan) *ScenarioSession {
 	params := apps.DefaultPowerpointParams()
 	if sc.prm.Slides != 0 {
 		params.Slides = sc.prm.Slides
@@ -120,7 +132,6 @@ func faultsPPT(label string, cfg Config, sc scRun, plan faults.Plan) ExtFaultsRo
 		pageDowns = []int{9, 10, 10}
 	}
 	r := newRig(cfg, sc.p, 400)
-	defer r.shutdown()
 	faults.NewClock(plan).Arm(faultsTarget(r, false))
 	ppt := apps.NewPowerpoint(r.sys, params)
 
@@ -140,24 +151,38 @@ func faultsPPT(label string, cfg Config, sc scRun, plan faults.Plan) ExtFaultsRo
 	}
 	steps = append(steps, step(kernel.WMCommand, apps.CmdSave, think))
 
-	runChain(r.sys, steps, true, simtime.Time(secs(defF(sc.prm.DeadlineS, 380))))
-	// Analyse through the trailing quiescence runChain appends, so the
-	// FSM end matches the probe's last records.
-	return faultsRow(label, r, ppt.Thread(), r.sys.K.Now())
+	return openChain(label, r, ppt.Thread(), steps, true,
+		simtime.Time(secs(defF(sc.prm.DeadlineS, 380))))
+}
+
+// openChain installs a completion-paced chain driver and wraps it as a
+// session whose milestone program is runChain's exact loop.
+func openChain(label string, r *rig, t *kernel.Thread, steps []chainStep, sync bool, deadline simtime.Time) *ScenarioSession {
+	s := &ScenarioSession{r: r, label: label, thread: t,
+		kind: sessChain, deadline: deadline, chainDone: new(simtime.Time)}
+	driveChain(r.sys, steps, sync, s.chainDone)
+	s.target = r.sys.K.Now().Add(500 * simtime.Millisecond)
+	return s
 }
 
 // faultsTyping runs a paced Notepad typing session under plan. Input
 // comes from the scenario run: the seeded typist by default, or the
 // document's explicit stanza timeline.
 func faultsTyping(label string, cfg Config, sc scRun, plan faults.Plan) ExtFaultsRow {
+	return openTyping(label, cfg, sc, plan).run()
+}
+
+// openTyping boots the typing session without running it. The whole
+// input script is installed up front, so the milestone program is one
+// Run to the script end plus trailing time.
+func openTyping(label string, cfg Config, sc scRun, plan faults.Plan) *ScenarioSession {
 	r := newRig(cfg, sc.p, 240)
-	defer r.shutdown()
 	faults.NewClock(plan).Arm(faultsTarget(r, true))
 	n := apps.NewNotepad(r.sys, 250_000)
 	script := sc.scenarioScript(defF(sc.prm.StartMs, 300))
 	script.Install(r.sys)
-	done := r.sys.K.Run(script.End().Add(secs(defF(sc.prm.TrailingS, 3))))
-	return faultsRow(label, r, n.Thread(), done)
+	return &ScenarioSession{r: r, label: label, thread: n.Thread(),
+		kind: sessOnce, target: script.End().Add(secs(defF(sc.prm.TrailingS, 3)))}
 }
 
 // faultsRow extracts the common analysis from a finished rig.
@@ -186,10 +211,14 @@ func faultsRow(label string, r *rig, t *kernel.Thread, end simtime.Time) ExtFaul
 // eviction pressure — the paper's "effects of the file system cache"
 // phenomenon produced (and destroyed) on demand.
 func faultsBrowser(label string, cfg Config, sc scRun, plan faults.Plan) ExtFaultsRow {
+	return openBrowser(label, cfg, sc, plan).run()
+}
+
+// openBrowser boots the browsing session without running it.
+func openBrowser(label string, cfg Config, sc scRun, plan faults.Plan) *ScenarioSession {
 	const viewPages, chunk = 64, 8
 	views := sc.prm.Views
 	r := newRig(cfg, sc.p, 120)
-	defer r.shutdown()
 	faults.NewClock(plan).Arm(faultsTarget(r, false))
 
 	db := r.sys.K.Cache().AddFile("reports.db", 600_000, int64(views)*viewPages)
@@ -217,8 +246,8 @@ func faultsBrowser(label string, cfg Config, sc scRun, plan faults.Plan) ExtFaul
 	for i := 0; i < 2*views; i++ {
 		steps = append(steps, step(kernel.WMKeyDown, input.VKPageDown, think))
 	}
-	runChain(r.sys, steps, true, simtime.Time(secs(defF(sc.prm.DeadlineS, 110))))
-	return faultsRow(label, r, app, r.sys.K.Now())
+	return openChain(label, r, app, steps, true,
+		simtime.Time(secs(defF(sc.prm.DeadlineS, 110))))
 }
 
 // compareCleanDegraded is the canonical comparison of the ext-faults

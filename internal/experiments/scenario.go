@@ -94,9 +94,12 @@ func runScenario(ctx context.Context, cfg Config, doc scenario.Doc) (Result, err
 	if !ok {
 		return nil, fmt.Errorf("scenario %s: unknown persona %q", doc.ID, doc.Persona)
 	}
-	driver, err := scenarioDriver(doc.Workload.Kind)
+	open, err := scenarioOpener(doc.Workload.Kind)
 	if err != nil {
 		return nil, err
+	}
+	driver := func(label string, cfg Config, sc scRun, plan faults.Plan) ExtFaultsRow {
+		return open(label, cfg, sc, plan).run()
 	}
 	sc := scRun{p: p, prm: doc.Workload.Resolve(cfg.Quick), stanzas: doc.Input, seed: cfg.Seed}
 	plan := scenarioPlan(doc, cfg)
@@ -131,15 +134,15 @@ func runScenario(ctx context.Context, cfg Config, doc scenario.Doc) (Result, err
 	return res, nil
 }
 
-// scenarioDriver maps a workload kind to its row driver.
-func scenarioDriver(kind string) (func(string, Config, scRun, faults.Plan) ExtFaultsRow, error) {
+// scenarioOpener maps a workload kind to its session opener.
+func scenarioOpener(kind string) (func(string, Config, scRun, faults.Plan) *ScenarioSession, error) {
 	switch kind {
 	case scenario.KindTyping:
-		return faultsTyping, nil
+		return openTyping, nil
 	case scenario.KindPowerpoint:
-		return faultsPPT, nil
+		return openPPT, nil
 	case scenario.KindBrowse:
-		return faultsBrowser, nil
+		return openBrowser, nil
 	default:
 		return nil, fmt.Errorf("scenario: no driver for workload kind %q", kind)
 	}

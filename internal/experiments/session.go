@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+
+	"latlab/internal/faults"
+	"latlab/internal/kernel"
+	"latlab/internal/machine"
+	"latlab/internal/persona"
+	"latlab/internal/scenario"
+	"latlab/internal/simtime"
+	"latlab/internal/system"
+)
+
+// This file decomposes a scenario run into open / step-to-target /
+// finish so the batch engine (internal/system.Batch) can interleave
+// many sessions on one worker. The decomposition is a pure refactor of
+// the sequential drivers: every driver's run phase was already a
+// milestone program — a single Run(until) for typing, the 500 ms
+// poll-slice loop plus 2 s trailing for completion-paced chains — and
+// ScenarioSession replays exactly those milestones, so a session
+// stepped inside a batch is byte-identical to one run alone
+// (TestBatchSessionEquivalence pins this).
+
+// Session program kinds.
+const (
+	// sessOnce runs to a single precomputed end time (typing).
+	sessOnce uint8 = iota
+	// sessChain polls a completion-paced chain in 500 ms slices until
+	// the chain reports done, then switches to sessTrailing.
+	sessChain
+	// sessTrailing runs the 2 s trailing quiescence after a chain.
+	sessTrailing
+)
+
+// ScenarioSession is one opened, not-yet-finished scenario run: a
+// booted machine plus the driver's milestone program. It implements
+// system.BatchSession so a batch can step it; Result extracts the
+// identical ScenarioResult the sequential path produces.
+type ScenarioSession struct {
+	r      *rig
+	label  string
+	thread *kernel.Thread
+
+	kind      uint8
+	target    simtime.Time
+	deadline  simtime.Time
+	chainDone *simtime.Time
+	finished  bool
+	closed    bool
+
+	// Result metadata, filled by OpenScenarioSession.
+	docID   string
+	banner  string
+	persona string
+	machine string
+	seed    uint64
+	plan    faults.Plan
+}
+
+// Sys implements system.BatchSession.
+func (s *ScenarioSession) Sys() *system.System { return s.r.sys }
+
+// NextTarget implements system.BatchSession: the next simulated
+// instant the session's program needs control at, simtime.Never once
+// the program has finished.
+func (s *ScenarioSession) NextTarget() simtime.Time {
+	if s.finished {
+		return simtime.Never
+	}
+	return s.target
+}
+
+// OnTarget implements system.BatchSession: the machine's clock is at
+// the target; execute the program step and compute the next target.
+// The chain transitions replicate runChain's loop exactly: full 500 ms
+// slices while the chain is unfinished and the deadline unreached,
+// then one 2 s trailing slice.
+func (s *ScenarioSession) OnTarget() {
+	now := s.r.sys.K.Now()
+	switch s.kind {
+	case sessOnce, sessTrailing:
+		s.finished = true
+	case sessChain:
+		if *s.chainDone != 0 {
+			s.kind = sessTrailing
+			s.target = now.Add(2 * simtime.Second)
+			return
+		}
+		if now >= s.deadline {
+			panic(fmt.Sprintf("experiments: chain did not complete by %v", s.deadline))
+		}
+		s.target = now.Add(500 * simtime.Millisecond)
+	}
+}
+
+// run drives the session to completion sequentially — the slow path
+// the drivers and the compare scenarios use.
+func (s *ScenarioSession) run() ExtFaultsRow {
+	defer s.Close()
+	for !s.finished {
+		s.r.sys.K.Run(s.target)
+		s.OnTarget()
+	}
+	return s.row()
+}
+
+// row extracts the driver's analysis row and releases the machine.
+// Extraction happens before shutdown, matching the sequential drivers'
+// deferred-shutdown ordering.
+func (s *ScenarioSession) row() ExtFaultsRow {
+	row := faultsRow(s.label, s.r, s.thread, s.r.sys.K.Now())
+	s.Close()
+	return row
+}
+
+// Close releases the session's machine. Idempotent; a batch calls it
+// on abandoned sessions when a sibling fails mid-batch.
+func (s *ScenarioSession) Close() {
+	if !s.closed {
+		s.closed = true
+		s.r.shutdown()
+	}
+}
+
+// Result extracts the finished session's outcome — identical to what
+// runScenario's single-run path returns for the same Config and Doc.
+func (s *ScenarioSession) Result() *ScenarioResult {
+	if !s.finished {
+		panic("experiments: Result on an unfinished session")
+	}
+	return &ScenarioResult{
+		DocID:   s.docID,
+		Banner:  s.banner,
+		Persona: s.persona,
+		Machine: s.machine,
+		Seed:    s.seed,
+		Plan:    s.plan,
+		Row:     s.row(),
+	}
+}
+
+// OpenScenarioSession resolves doc against cfg exactly like the
+// compiled Spec's Run and boots the session without running it. The
+// caller steps it (directly or inside a system.Batch) until
+// NextTarget returns simtime.Never, then calls Result. Compare
+// scenarios have no single-session decomposition and are refused.
+func OpenScenarioSession(cfg Config, doc scenario.Doc) (*ScenarioSession, error) {
+	if len(doc.Compare) > 0 {
+		return nil, fmt.Errorf("scenario %s: compare scenarios cannot run as batched sessions", doc.ID)
+	}
+	if doc.Seed != 0 {
+		cfg.Seed = doc.Seed
+	}
+	if doc.Machine != "" {
+		prof, ok := machine.ByShort(doc.Machine)
+		if !ok {
+			return nil, fmt.Errorf("scenario %s: unknown machine %q", doc.ID, doc.Machine)
+		}
+		cfg.Machine = prof
+	}
+	p, ok := persona.ByShort(doc.Persona)
+	if !ok {
+		return nil, fmt.Errorf("scenario %s: unknown persona %q", doc.ID, doc.Persona)
+	}
+	open, err := scenarioOpener(doc.Workload.Kind)
+	if err != nil {
+		return nil, err
+	}
+	sc := scRun{p: p, prm: doc.Workload.Resolve(cfg.Quick), stanzas: doc.Input, seed: cfg.Seed}
+	plan := scenarioPlan(doc, cfg)
+	s := open("run", cfg, sc, plan)
+	s.docID = doc.ID
+	s.banner = doc.BannerOrTitle()
+	s.persona = doc.Persona
+	s.machine = cfg.MachineProfile().Short
+	s.seed = cfg.Seed
+	s.plan = plan
+	return s, nil
+}

@@ -87,6 +87,10 @@ type Config struct {
 	// the paper's §5.1 remark that latencies unnoticed on their machine
 	// "might have a significant effect ... on a slower machine".
 	CPUFrequency simtime.Hz
+	// Engine selects the simulation-core strategy (queue backend,
+	// analytic idle skipping). The zero value is the reference engine;
+	// see engine.go. Both engines produce byte-identical results.
+	Engine Engine
 }
 
 // DefaultConfig returns a neutral machine configuration; personas
@@ -126,14 +130,17 @@ type Hooks struct {
 
 // Kernel is the simulated operating system instance.
 type Kernel struct {
-	cfg   Config
-	now   simtime.Time
-	q     eventq.Queue
-	cpu   *cpu.CPU
-	ctrs  *cpu.CounterFile
-	disk  *disk.Disk
-	cache *fscache.Cache
-	hooks Hooks
+	cfg Config
+	now simtime.Time
+	// runUntil is the current Run call's horizon; bulk idle-skip never
+	// advances the clock past it.
+	runUntil simtime.Time
+	q        eventq.Queue
+	cpu      *cpu.CPU
+	ctrs     *cpu.CounterFile
+	disk     *disk.Disk
+	cache    *fscache.Cache
+	hooks    Hooks
 
 	threads []*Thread
 	ready   []*Thread
@@ -166,6 +173,14 @@ type Kernel struct {
 
 	clockTicks int64
 	shutdown   bool
+	// idleSkip caches cfg.Engine.IdleSkip for the scheduler hot path;
+	// bulkElided counts idle cycles accounted analytically;
+	// ctxSwitches counts thread context switches (startChunk), letting
+	// the cleanliness proof require "no switch inside this cycle" —
+	// a process switch may flush the TLBs without an immediate miss.
+	idleSkip    bool
+	bulkElided  int64
+	ctxSwitches uint64
 
 	// rec, when non-nil, receives cause-tagged spans from every charge
 	// point in the kernel and its machine. episode/epThread/epOpen track
@@ -185,6 +200,10 @@ func New(cfg Config) *Kernel {
 	prof := cfg.Machine.OrDefault()
 	cfg.Machine = prof
 	k := &Kernel{cfg: cfg}
+	k.idleSkip = cfg.Engine.IdleSkip
+	if cfg.Engine.Queue == QueueCalendar {
+		k.q.UseCalendar()
+	}
 	k.q.Grow(256)
 	k.onCompletionFn = k.onCompletion
 	k.reconcileFn = func(now simtime.Time) { k.reconcile() }
@@ -359,6 +378,10 @@ func (k *Kernel) Spawn(name string, proc ProcID, prio int, body func(tc *TC)) *T
 // Run processes events until the queue empties or simulated time would
 // pass `until`. It returns the time at which it stopped.
 func (k *Kernel) Run(until simtime.Time) simtime.Time {
+	// The idle-skip engine must never advance past the run horizon: the
+	// slow path stops mid-cycle at `until` exactly, so bulk elision is
+	// clamped to cycles ending at or before it (tryBulkSkip).
+	k.runUntil = until
 	for {
 		next := k.q.NextTime()
 		if next == simtime.Never || next > until {
@@ -398,9 +421,12 @@ func (k *Kernel) Shutdown() {
 		if t.state == StateDone {
 			continue
 		}
-		// A live thread is always parked receiving on resume (either in
-		// its primitive's handshake or the initial wait).
-		t.resume <- resumeToken{kill: true}
+		// A live goroutine thread is always parked receiving on resume
+		// (either in its primitive's handshake or the initial wait).
+		// Loop threads have no goroutine to unwind.
+		if t.loopFn == nil {
+			t.resume <- resumeToken{kill: true}
+		}
 		t.state = StateDone
 	}
 }

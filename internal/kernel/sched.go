@@ -81,6 +81,7 @@ func (k *Kernel) reconcile() {
 // was requeued behind an equal-priority peer.
 func (k *Kernel) startChunk(t *Thread) bool {
 	if t != k.lastRun {
+		k.ctxSwitches++
 		var ch spans.Handle
 		if k.rec != nil {
 			ch = k.rec.Begin(spans.CauseCtxSwitch, t.name)
@@ -197,11 +198,28 @@ func (k *Kernel) hasReadyAtPrio(p int) bool {
 	return false
 }
 
-// fetch resumes t's goroutine and waits for its next request. Strict
-// alternation: the kernel blocks here while thread code runs.
-func (k *Kernel) fetch(t *Thread) request {
+// fetchInto obtains t's next request, writing it into t.reqSlot. For
+// goroutine threads it resumes the goroutine and waits (strict
+// alternation: the kernel blocks here while thread code runs). For
+// kernel-resident loop threads it invokes the loop function directly
+// in simulator context — same request stream, no channel handshake;
+// the LoopTC primitives arm t.reqSlot in place, so the (large,
+// two-segment) request struct is never copied on this hot path.
+func (k *Kernel) fetchInto(t *Thread) {
+	if t.loopFn != nil {
+		lc := &t.loopTC
+		lc.armed = false
+		if !t.loopFn(lc) {
+			t.reqSlot = request{kind: reqExit}
+			return
+		}
+		if !lc.armed {
+			panic("kernel: loop thread " + t.name + " returned without issuing a request")
+		}
+		return
+	}
 	t.resume <- resumeToken{}
-	return <-t.requests
+	t.reqSlot = <-t.requests
 }
 
 // step advances the current thread's instantaneous state: it fetches the
@@ -216,8 +234,13 @@ func (k *Kernel) step(t *Thread) {
 		// The request lives in a per-thread slot rather than a fresh
 		// heap allocation: requests arrive one at a time per thread, so
 		// the slot is free whenever pending is nil.
-		t.reqSlot = k.fetch(t)
+		k.fetchInto(t)
 		t.pending = &t.reqSlot
+		if k.idleSkip && t.bulk != nil {
+			// Batched engine: the request is pending but untouched, the
+			// cleanest point to elide provably-identical idle cycles.
+			k.tryBulkSkip(t)
+		}
 	}
 	k.process(t)
 }
@@ -246,6 +269,9 @@ func (k *Kernel) process(t *Thread) {
 		for {
 			if r.started {
 				if r.stage == 1 {
+					if k.idleSkip && t.bulk != nil {
+						k.noteBulkCycle(t, r)
+					}
 					t.pending = nil
 					return
 				}
@@ -257,7 +283,25 @@ func (k *Kernel) process(t *Thread) {
 			if r.stage == 1 {
 				seg = &r.seg2
 			}
-			if _, d := k.cpu.Execute(*seg); d > 0 {
+			if k.idleSkip && t.bulk != nil && r.stage == 0 {
+				// Open a bulk-cycle observation: wall start, per-stage
+				// analytic durations, a counter snapshot to diff at
+				// completion (engine.go), and the context-switch count so
+				// cleanliness can require the cycle ran switch-free.
+				t.cycleStart = k.now
+				t.cycleD1, t.cycleD2 = 0, 0
+				t.cycleSnap = k.cpu.Snapshot()
+				t.cycleSwitches = k.ctxSwitches
+			}
+			_, d := k.cpu.Execute(*seg)
+			if k.idleSkip && t.bulk != nil {
+				if r.stage == 0 {
+					t.cycleD1 = d
+				} else {
+					t.cycleD2 = d
+				}
+			}
+			if d > 0 {
 				t.remaining = d
 				return
 			}

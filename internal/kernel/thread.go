@@ -118,6 +118,31 @@ type Thread struct {
 	resume   chan resumeToken
 	requests chan request
 
+	// loopFn, when non-nil, makes this a kernel-resident loop thread
+	// (SpawnLoop): no goroutine, no handshake — fetch invokes loopFn in
+	// simulator context and loopTC carries its one-request-per-call
+	// context.
+	loopFn func(lc *LoopTC) bool
+	loopTC LoopTC
+
+	// Bulk idle-skip state (engine.go). bulk non-nil enables per-cycle
+	// cleanliness tracking; the batched engine elides clean cycles.
+	// cycle* fields observe the cycle in flight; sig* plus cycleSeg*
+	// hold the canonical interrupt-free signature elision replays from.
+	bulk          BulkLoop
+	bulkClean     bool
+	cycleStart    simtime.Time
+	cycleD1       simtime.Duration
+	cycleD2       simtime.Duration
+	cycleSnap     [cpu.NumEventKinds]int64
+	cycleDelta    [cpu.NumEventKinds]int64
+	cycleSwitches uint64
+	sigD1         simtime.Duration
+	sigD2         simtime.Duration
+	sigDelta      [cpu.NumEventKinds]int64
+	cycleSeg      cpu.Segment
+	cycleSeg2     cpu.Segment
+
 	state    ThreadState
 	readySeq uint64
 

@@ -71,6 +71,24 @@ func FromSeconds(s float64) Duration {
 	return Duration(math.Round(s * float64(Second)))
 }
 
+// IterationsBefore returns the greatest n ≥ 0 such that
+// start + n*step < limit: how many whole step-long iterations fit
+// strictly before limit. It is the bulk-advance primitive behind
+// analytic idle-span skipping — n identical idle cycles can be elided
+// when n cycles end strictly before the next scheduled event, leaving
+// the straddling cycle to be simulated honestly. step must be positive.
+func IterationsBefore(start Time, step Duration, limit Time) int64 {
+	if step <= 0 {
+		panic("simtime: non-positive step")
+	}
+	gap := limit.Sub(start)
+	if gap <= 0 {
+		return 0
+	}
+	// Greatest n with n*step < gap  ⇔  n = ceil(gap/step) - 1.
+	return (int64(gap) - 1) / int64(step)
+}
+
 // Hz describes a clock frequency and converts between cycles and time.
 // The simulated machine runs at 100 MHz, matching the paper's Pentium.
 type Hz int64

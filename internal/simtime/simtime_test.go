@@ -78,6 +78,58 @@ func TestCyclesRoundTrip(t *testing.T) {
 	}
 }
 
+func TestIterationsBefore(t *testing.T) {
+	cases := []struct {
+		start Time
+		step  Duration
+		limit Time
+		want  int64
+	}{
+		{0, Millisecond, Time(10 * Millisecond), 9},                    // 10 steps reach the limit exactly; only 9 end strictly before
+		{0, Millisecond, Time(10*Millisecond + 1), 10},                 // one ns past the boundary admits the 10th
+		{Time(3 * Millisecond), Millisecond, Time(3 * Millisecond), 0}, // empty gap
+		{Time(5 * Millisecond), Millisecond, Time(4 * Millisecond), 0}, // limit behind start
+		{0, Millisecond, Time(Millisecond), 0},                         // first step lands on the limit
+		{0, Millisecond, Time(Millisecond + 1), 1},
+		{0, 3, Time(10), 3},
+	}
+	for _, c := range cases {
+		if got := IterationsBefore(c.start, c.step, c.limit); got != c.want {
+			t.Fatalf("IterationsBefore(%v, %v, %v) = %d, want %d", c.start, c.step, c.limit, got, c.want)
+		}
+	}
+}
+
+// TestIterationsBeforeProperty: the returned n is exactly the boundary
+// of the strict-before predicate.
+func TestIterationsBeforeProperty(t *testing.T) {
+	f := func(rawStart, rawStep, rawGap uint16) bool {
+		start := Time(rawStart)
+		step := Duration(rawStep%1000) + 1
+		limit := start.Add(Duration(rawGap))
+		n := IterationsBefore(start, step, limit)
+		if n < 0 {
+			return false
+		}
+		if start.Add(Duration(n)*step) >= limit && n > 0 {
+			return false
+		}
+		return start.Add(Duration(n+1)*step) >= limit
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIterationsBeforePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("IterationsBefore with zero step should panic")
+		}
+	}()
+	IterationsBefore(0, 0, Time(10))
+}
+
 func TestStrings(t *testing.T) {
 	if got := (10760 * Microsecond).String(); got != "10.76ms" {
 		t.Fatalf("Duration.String = %q", got)

@@ -63,6 +63,11 @@ type Config struct {
 	// event runs, so the whole boot is observable. Recording never
 	// perturbs the simulation.
 	Spans *spans.Recorder
+	// Engine selects the kernel's simulation-core strategy (event-queue
+	// backend, analytic idle skipping). The zero value is the reference
+	// engine; kernel.BatchedEngine() is the throughput path. Both
+	// produce byte-identical results — see internal/kernel/engine.go.
+	Engine kernel.Engine
 }
 
 // New builds and starts a machine from cfg: kernel on cfg.Machine,
@@ -77,16 +82,24 @@ func New(cfg Config) *System {
 	p, prof := cfg.Persona, cfg.Machine.OrDefault()
 	kcfg := p.Kernel
 	kcfg.Machine = prof
+	kcfg.Engine = cfg.Engine
 	s := &System{K: kernel.New(kcfg), P: p, M: prof, nextProc: 1}
 	s.Win = winsys.New(s.K, p)
 
 	for _, b := range p.Background {
 		b := b
-		s.K.Spawn(b.Name, kernel.KernelProc, BackgroundPrio, func(tc *kernel.TC) {
-			for {
-				tc.Sleep(b.Period)
-				tc.Compute(b.Burst)
+		// Housekeeping threads are kernel-resident loops (no goroutine):
+		// the phase toggle issues the identical Sleep/Compute request
+		// stream the goroutine form did.
+		sleep := true
+		s.K.SpawnLoop(b.Name, kernel.KernelProc, BackgroundPrio, func(lc *kernel.LoopTC) bool {
+			if sleep {
+				lc.Sleep(b.Period)
+			} else {
+				lc.Compute(b.Burst)
 			}
+			sleep = !sleep
+			return true
 		})
 	}
 

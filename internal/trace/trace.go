@@ -128,6 +128,17 @@ func NewBuffer(capacity int) *Buffer {
 	return &Buffer{cap: capacity, samples: make([]IdleSample, 0, pre)}
 }
 
+// NewBufferBacked returns a buffer that records into the caller's
+// backing array: capacity is cap(backing) and no allocation happens at
+// construction or append. The batch engine pre-grows one arena per
+// machine slot and reuses it across sessions.
+func NewBufferBacked(backing []IdleSample) *Buffer {
+	if cap(backing) == 0 {
+		panic("trace: zero-capacity backing array")
+	}
+	return &Buffer{cap: cap(backing), samples: backing[:0]}
+}
+
 // Append records a sample; it returns false (and counts a drop) when full.
 func (b *Buffer) Append(s IdleSample) bool {
 	if len(b.samples) >= b.cap {
@@ -140,6 +151,9 @@ func (b *Buffer) Append(s IdleSample) bool {
 
 // Full reports whether the buffer has reached capacity.
 func (b *Buffer) Full() bool { return len(b.samples) >= b.cap }
+
+// Cap returns the buffer's fixed capacity.
+func (b *Buffer) Cap() int { return b.cap }
 
 // Dropped returns the number of samples rejected after the buffer filled.
 func (b *Buffer) Dropped() int { return b.dropped }
