@@ -19,11 +19,12 @@ BENCH_COUNT     ?= 5
 BENCH_RETRIES   ?= 3
 
 # Coverage floor (percent) for the hardware-profile layer: the packages
-# a machine.Profile threads through must stay well exercised.
-COVER_PKGS   = ./internal/machine ./internal/cpu ./internal/mem ./internal/disk
+# a machine.Profile threads through, plus the perception layer that
+# interprets what they measure, must stay well exercised.
+COVER_PKGS   = ./internal/machine ./internal/cpu ./internal/mem ./internal/disk ./internal/perception
 COVER_FLOOR ?= 85
 
-.PHONY: all build vet test race verify bench bench-baseline bench-check cover doclint fuzz-smoke corpus-check campaign-check campaign-resume-check campaign-demo batch-check repro quick examples clean
+.PHONY: all build vet test race verify bench bench-baseline bench-check cover doclint fuzz-smoke corpus-check campaign-check campaign-resume-check campaign-demo batch-check modern-check repro quick examples clean
 
 all: build verify
 
@@ -50,6 +51,7 @@ race:
 # LATLAB_SKIP_RESUME=1 to skip the interrupt/resume reconvergence
 # check, and LATLAB_SKIP_BATCH=1 to skip the batched-engine
 # cross-check.
+# LATLAB_SKIP_MODERN=1 to skip the modern-chapter replay.
 # The campaign determinism and crash-safety tests themselves run under
 # -race via the race target above.
 verify: vet race
@@ -93,6 +95,11 @@ verify: vet race
 	else \
 		echo "batch-check skipped (LATLAB_SKIP_BATCH set)"; \
 	fi
+	@if [ -z "$$LATLAB_SKIP_MODERN" ]; then \
+		$(MAKE) --no-print-directory modern-check; \
+	else \
+		echo "modern-check skipped (LATLAB_SKIP_MODERN set)"; \
+	fi
 
 # Documentation gate: every internal package needs a package comment and
 # docs on its exported symbols, and every markdown link must resolve.
@@ -108,7 +115,7 @@ cover:
 	echo "$$out" | awk -v floor=$(COVER_FLOOR) ' \
 		/coverage:/ { n++; pct = $$5; sub(/%/, "", pct); \
 			if (pct + 0 < floor) { printf "cover: %s below floor %d%%\n", $$2, floor; bad = 1 } } \
-		END { if (n < 4) { printf "cover: expected 4 covered packages, saw %d\n", n; exit 1 }; exit bad }'
+		END { if (n < 5) { printf "cover: expected 5 covered packages, saw %d\n", n; exit 1 }; exit bad }'
 
 # 10 seconds of coverage-guided fuzzing per fuzzer: the CSV/JSONL
 # parsers, the scenario DSL, and the differential event-queue check
@@ -186,6 +193,15 @@ batch-check:
 		-ledger $$tmp/b64-ledger.jsonl -quick -jobs $(CAMPAIGN_JOBS) -engine batched -batch 64 && \
 	cmp $(CAMPAIGN_DIR)/demo-ledger.jsonl $$tmp/b64-ledger.jsonl && \
 	echo "batch-check: reference engine and -batch 64 reproduce the committed ledger byte-for-byte"
+
+# Replay the ext-modern experiments against their goldens and require
+# every table quoted in the EXPERIMENTS.md "1996 methodology on 2026
+# hardware" chapter to be a verbatim excerpt of those goldens — the
+# chapter cannot drift from what the code produces.
+modern-check:
+	$(GO) test -run '^TestGoldenQuick$$/^ext-modern' ./cmd/latbench
+	$(GO) test -run '^TestModernChapter$$' ./cmd/latbench
+	@echo "modern-check: ext-modern goldens replay and the EXPERIMENTS.md chapter quotes them verbatim"
 
 # Regenerate the committed demo campaign ledger and report after an
 # intentional behaviour change. Commit both files.

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"unicode"
+)
+
+// atxHeading matches an ATX heading line; group 1 is the heading text.
+var atxHeading = regexp.MustCompile(`^#{1,6}\s+(.*?)\s*#*\s*$`)
+
+// slugify converts a heading to its GitHub-style anchor: strip inline
+// markup characters, lowercase, drop everything but letters, digits,
+// spaces, hyphens and underscores, then turn spaces into hyphens.
+func slugify(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '-' || r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// headingAnchors extracts the anchor set of one Markdown document,
+// applying GitHub's -1, -2 suffixing to duplicate headings. Fenced code
+// blocks are ignored.
+func headingAnchors(data []byte) map[string]bool {
+	anchors := make(map[string]bool)
+	seen := make(map[string]int)
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := atxHeading.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		slug := slugify(m[1])
+		if n := seen[slug]; n > 0 {
+			anchors[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			anchors[slug] = true
+		}
+		seen[slug]++
+	}
+	return anchors
+}
+
+// lintMarkdownAnchors checks every `#fragment` link in the repository's
+// Markdown files — both same-document (`#usage`) and cross-document
+// (`DESIGN.md#kernel`) — against the GitHub-style anchors of the target
+// document's headings. Non-Markdown targets and external schemes are
+// not checked; fenced code blocks are ignored.
+func lintMarkdownAnchors(root string) ([]string, error) {
+	// First pass: collect every document's anchor set.
+	docs := make(map[string]map[string]bool)
+	var paths []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		docs[path] = headingAnchors(data)
+		paths = append(paths, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Second pass: resolve every fragment link against the anchor sets.
+	var findings []string
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		inFence := false
+		for i, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				inFence = !inFence
+				continue
+			}
+			if inFence {
+				continue
+			}
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+					continue
+				}
+				file, frag, ok := strings.Cut(target, "#")
+				if !ok || frag == "" {
+					continue
+				}
+				doc := path
+				if file != "" {
+					if !strings.HasSuffix(file, ".md") {
+						continue // fragment into a non-Markdown file
+					}
+					doc = filepath.Join(filepath.Dir(path), file)
+				}
+				anchors, found := docs[doc]
+				if !found {
+					continue // missing file already reported by lintMarkdownLinks
+				}
+				if !anchors[frag] {
+					findings = append(findings,
+						fmt.Sprintf("%s:%d: broken anchor %s (no heading slugs to #%s in %s)",
+							path, i+1, m[1], frag, filepath.Base(doc)))
+				}
+			}
+		}
+	}
+	return findings, nil
+}

@@ -1,7 +1,9 @@
 // Command doclint enforces the repository's documentation contract:
 // every package under internal/ carries a package comment, every
-// exported symbol there carries a doc comment, and every relative link
-// in the repository's Markdown files resolves to an existing file.
+// exported symbol there carries a doc comment, every relative link
+// in the repository's Markdown files resolves to an existing file, and
+// every `#fragment` link (same-document or cross-document) resolves to
+// a real heading's GitHub-style anchor.
 // `make doclint` runs it as part of `make verify`
 // (LATLAB_SKIP_DOCLINT=1 opts out).
 //
@@ -50,6 +52,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	findings = append(findings, links...)
+	anchors, err := lintMarkdownAnchors(*root)
+	if err != nil {
+		fmt.Fprintln(stderr, "doclint:", err)
+		return 2
+	}
+	findings = append(findings, anchors...)
 
 	for _, f := range findings {
 		fmt.Fprintln(stdout, f)

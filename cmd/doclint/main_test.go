@@ -51,7 +51,7 @@ func (w *Widget) Spin() {}
 // Do is a documented function.
 func Do() {}
 `,
-		"README.md": "See [the doc](docs/guide.md) and [site](https://example.com) and [top](#top).\n",
+		"README.md": "# Top\n\nSee [the doc](docs/guide.md) and [site](https://example.com) and [top](#top).\n",
 		"docs/guide.md": "Back to [readme](../README.md).\n",
 	})
 	code, out, errOut := runLint(t, root)
@@ -170,14 +170,68 @@ func TestBrokenMarkdownLink(t *testing.T) {
 
 func TestMarkdownSkipsFencesAnchorsAndSchemes(t *testing.T) {
 	root := writeTree(t, map[string]string{
-		"NOTES.md": "```\n[inside fence](nope.md)\n```\n" +
+		"NOTES.md": "# Section\n\n```\n[inside fence](nope.md)\n```\n" +
 			"[anchor](#section) [web](https://example.com/x.md) [mail](mailto:a@b.c)\n" +
 			"[frag ok](REAL.md#part)\n",
-		"REAL.md": "real\n",
+		"REAL.md": "# Part\n\nreal\n",
 	})
 	code, out, errOut := runLint(t, root)
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0; stdout=%q stderr=%q", code, out, errOut)
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"Usage", "usage"},
+		{"The 1996 methodology on 2026 hardware", "the-1996-methodology-on-2026-hardware"},
+		{"`latbench` — the suite", "latbench--the-suite"},
+		{"A.B/C (d)", "abc-d"},
+	} {
+		if got := slugify(tc.in); got != tc.want {
+			t.Errorf("slugify(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestBrokenAnchors(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"README.md": "# Alpha\n\n[self ok](#alpha) [self bad](#beta)\n" +
+			"[cross ok](OTHER.md#gamma-delta) [cross bad](OTHER.md#nope)\n",
+		"OTHER.md": "## Gamma Delta\n",
+	})
+	code, out, _ := runLint(t, root)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout=%q", code, out)
+	}
+	for _, want := range []string{
+		"README.md:3: broken anchor #beta",
+		"README.md:4: broken anchor OTHER.md#nope",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q; got:\n%s", want, out)
+		}
+	}
+	for _, reject := range []string{"#alpha", "gamma-delta"} {
+		if strings.Contains(out, reject) {
+			t.Errorf("stdout flags valid anchor %q:\n%s", reject, out)
+		}
+	}
+}
+
+func TestDuplicateHeadingAnchors(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"DOC.md": "# Setup\n\n# Setup\n\n[first](#setup) [second](#setup-1) [third](#setup-2)\n",
+	})
+	code, out, _ := runLint(t, root)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout=%q", code, out)
+	}
+	if !strings.Contains(out, "broken anchor #setup-2") {
+		t.Errorf("stdout = %q, want #setup-2 flagged", out)
+	}
+	if strings.Contains(out, "#setup-1") {
+		t.Errorf("stdout flags valid duplicate-suffix anchor:\n%s", out)
 	}
 }
 

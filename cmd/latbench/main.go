@@ -129,14 +129,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		fmt.Fprintf(stdout, "\nmachine profiles (-machine):\n")
-		fmt.Fprintf(stdout, "%-10s %-28s %8s %9s %7s %6s\n", "id", "name", "clock", "itlb/dtlb", "l2", "tagged")
+		fmt.Fprintf(stdout, "%-11s %-33s %-5s %8s %9s %7s %6s  %s\n",
+			"id", "name", "era", "clock", "itlb/dtlb", "l2", "tagged", "description")
 		for _, m := range machine.All() {
 			l2 := fmt.Sprintf("%dK", m.L2Bytes>>10)
 			if m.L2Bytes == 0 {
 				l2 = "none"
 			}
-			fmt.Fprintf(stdout, "%-10s %-28s %5dMHz %5d/%-3d %7s %6v\n",
-				m.Short, m.Name, int64(m.ClockHz)/1_000_000, m.ITLBEntries, m.DTLBEntries, l2, m.TaggedTLB)
+			fmt.Fprintf(stdout, "%-11s %-33s %-5s %5dMHz %5d/%-4d %6s %6v  %s\n",
+				m.Short, m.Name, m.Era, int64(m.ClockHz)/1_000_000,
+				m.ITLBEntries, m.DTLBEntries, l2, m.TaggedTLB, m.Desc)
 		}
 		return 0
 	}

@@ -34,6 +34,14 @@ func TestList(t *testing.T) {
 	if !strings.Contains(tables, "s54") {
 		t.Fatalf("s54 not grouped under tables & sections:\n%s", tables)
 	}
+	// The machine table carries the era and description columns, and the
+	// modern experiments and profiles are listed.
+	for _, want := range []string{"era", "description", "ext-modern-dvfs",
+		"m2026-pin", "the paper's experimental machine"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("list missing %q:\n%s", want, out.String())
+		}
+	}
 }
 
 func TestRunQuickSubset(t *testing.T) {

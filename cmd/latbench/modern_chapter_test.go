@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// modernChapterIDs are the experiments whose output the EXPERIMENTS.md
+// modern chapter must quote verbatim.
+var modernChapterIDs = []string{
+	"ext-modern-clock", "ext-modern-dvfs", "ext-modern-nvme",
+	"ext-modern-irq", "ext-modern-smt",
+}
+
+// TestModernChapter pins the "1996 methodology on 2026 hardware"
+// chapter of EXPERIMENTS.md to the golden corpus: every fenced block
+// tagged `<!-- modern-golden: <id> -->` must be a verbatim excerpt of
+// testdata/golden/<id>.txt, and every ext-modern experiment must be
+// quoted. A diff here means either the simulation changed (regenerate
+// the goldens, then update the chapter) or the chapter drifted from
+// what the code actually produces.
+func TestModernChapter(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "EXPERIMENTS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(data), "\n")
+	quoted := map[string]bool{}
+	for i := 0; i < len(lines); i++ {
+		tag := strings.TrimSpace(lines[i])
+		if !strings.HasPrefix(tag, "<!-- modern-golden:") {
+			continue
+		}
+		id := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(tag, "<!-- modern-golden:"), "-->"))
+		// The tag must be followed (blank lines allowed) by a fence.
+		j := i + 1
+		for j < len(lines) && strings.TrimSpace(lines[j]) == "" {
+			j++
+		}
+		if j >= len(lines) || !strings.HasPrefix(strings.TrimSpace(lines[j]), "```") {
+			t.Fatalf("EXPERIMENTS.md:%d: modern-golden tag %q not followed by a fenced block", i+1, id)
+		}
+		var body []string
+		for j++; j < len(lines) && !strings.HasPrefix(strings.TrimSpace(lines[j]), "```"); j++ {
+			body = append(body, lines[j])
+		}
+		golden, err := os.ReadFile(filepath.Join("testdata", "golden", id+".txt"))
+		if err != nil {
+			t.Fatalf("EXPERIMENTS.md:%d: tag references unknown golden %q: %v", i+1, id, err)
+		}
+		excerpt := strings.Join(body, "\n")
+		if !strings.Contains(string(golden), excerpt) {
+			t.Errorf("EXPERIMENTS.md:%d: quoted %s block is not a verbatim excerpt of its golden;\nquoted:\n%s",
+				i+1, id, excerpt)
+		}
+		quoted[id] = true
+		i = j
+	}
+	for _, id := range modernChapterIDs {
+		if !quoted[id] {
+			t.Errorf("EXPERIMENTS.md modern chapter does not quote %s (no modern-golden tag)", id)
+		}
+	}
+}

@@ -26,6 +26,7 @@ func TestGolden(t *testing.T) {
 		{"profile", []string{"-in", filepath.Join("testdata", "samples.csv"), "-width", "60", "-height", "8"}},
 		{"profile-bucketed", []string{"-in", filepath.Join("testdata", "samples.csv"), "-bucket-ms", "5", "-width", "60", "-height", "8"}},
 		{"attrib", []string{"-attrib", filepath.Join("testdata", "attrib.csv")}},
+		{"attrib-classes", []string{"-attrib", filepath.Join("testdata", "attrib.csv"), "-classes"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

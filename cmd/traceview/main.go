@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"latlab/internal/core"
+	"latlab/internal/perception"
 	"latlab/internal/simtime"
 	"latlab/internal/trace"
 	"latlab/internal/viz"
@@ -33,6 +34,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		in       = fs.String("in", "", "idle-sample CSV file")
 		attr     = fs.String("attrib", "", "latency-attribution CSV file (as written by latbench -attrib)")
+		classes  = fs.Bool("classes", false, "with -attrib: append the perceptual-class table (default calibration)")
 		bucketMs = fs.Float64("bucket-ms", 0, "averaging bucket (0 = full resolution)")
 		width    = fs.Int("width", 110, "plot width")
 		height   = fs.Int("height", 12, "plot height")
@@ -46,7 +48,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if *attr != "" {
-		return runAttrib(*attr, stdout, stderr)
+		return runAttrib(*attr, *classes, stdout, stderr)
+	}
+	if *classes {
+		fmt.Fprintln(stderr, "traceview: -classes requires -attrib")
+		return 2
 	}
 
 	f, err := os.Open(*in)
@@ -81,8 +87,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// runAttrib renders an attribution CSV as the per-cause table.
-func runAttrib(path string, stdout, stderr io.Writer) int {
+// runAttrib renders an attribution CSV as the per-cause table, plus —
+// with -classes — the perceptual-class view of the same episodes.
+func runAttrib(path string, classes bool, stdout, stderr io.Writer) int {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(stderr, "traceview:", err)
@@ -97,6 +104,13 @@ func runAttrib(path string, stdout, stderr io.Writer) int {
 	if err := viz.AttribTable(stdout, path, recs); err != nil {
 		fmt.Fprintln(stderr, "traceview:", err)
 		return 1
+	}
+	if classes {
+		fmt.Fprintln(stdout)
+		if err := viz.AttribClassTable(stdout, perception.Default(), recs); err != nil {
+			fmt.Fprintln(stderr, "traceview:", err)
+			return 1
+		}
 	}
 	return 0
 }

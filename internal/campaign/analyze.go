@@ -24,6 +24,9 @@ type ConfigStats struct {
 	Sessions int
 	// Sketch is the merged distribution; headline metrics read from it.
 	Sketch *stats.Sketch
+	// Perception is the merged perceptual-class block, nil when none of
+	// the configuration's records carried one.
+	Perception *PerceptionStats
 }
 
 // Key returns the configuration key, matching Record.Config.
@@ -112,6 +115,14 @@ func Analyze(records []Record) (*Analysis, error) {
 		c := &a.Configs[i]
 		if err := c.Sketch.Merge(r.Sketch); err != nil {
 			return nil, fmt.Errorf("campaign: config %s: %w", key, err)
+		}
+		if r.Perception != nil {
+			if c.Perception == nil {
+				c.Perception = &PerceptionStats{}
+			}
+			if err := c.Perception.Merge(r.Perception); err != nil {
+				return nil, fmt.Errorf("campaign: config %s: %w", key, err)
+			}
 		}
 		c.Cells++
 		c.Sessions += r.Sessions
@@ -272,6 +283,9 @@ func (a *Analysis) Render(w io.Writer) error {
 	if err := viz.KPITable(w, "  ", header, rows); err != nil {
 		return err
 	}
+	if err := a.renderPerception(w); err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "\nsuggested_next (%d cells):\n", len(a.SuggestedNext))
 	for _, n := range a.SuggestedNext {
 		// The faults field renders only when set, so pre-faults-axis
@@ -284,6 +298,57 @@ func (a *Analysis) Render(w io.Writer) error {
 			n.Reason, n.Scenario, n.Persona, n.Machine, f, n.SeedStart, n.SeedCount)
 	}
 	return nil
+}
+
+// renderPerception writes the perceptual-class table — class shares and
+// per-event-class p95s per configuration, in the ranked order — when at
+// least one configuration carries a perception block. Ledgers without
+// the block render nothing here, keeping pre-existing reports byte for
+// byte.
+func (a *Analysis) renderPerception(w io.Writer) error {
+	any := false
+	for _, c := range a.Configs {
+		if c.Perception != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	fmt.Fprintf(w, "\nperception classes (default calibration):\n")
+	header := []string{"config", "impercep", "percep", "annoying", "unusable", "typing-p95", "point-p95", "cmd-p95"}
+	var rows [][]string
+	share := func(n, total uint64) string {
+		if total == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(n)/float64(total))
+	}
+	p95 := func(sk *stats.Sketch) string {
+		if sk == nil || sk.Count() == 0 {
+			return "-"
+		}
+		return fmtCellMs(sk.Quantile(0.95))
+	}
+	for _, c := range a.Configs {
+		p := c.Perception
+		if p == nil {
+			continue
+		}
+		total := p.ClassTotal()
+		rows = append(rows, []string{
+			c.Key(),
+			share(p.Imperceptible, total),
+			share(p.Perceptible, total),
+			share(p.Annoying, total),
+			share(p.Unusable, total),
+			p95(p.Typing),
+			p95(p.Pointing),
+			p95(p.Command),
+		})
+	}
+	return viz.KPITable(w, "  ", header, rows)
 }
 
 // fmtCellMs renders a millisecond KPI cell.

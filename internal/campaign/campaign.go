@@ -76,6 +76,13 @@ type Spec struct {
 	// the form `campaign analyze -emit-spec` writes, so suggested_next
 	// round-trips into a runnable spec.
 	Cells []CellRef `json:"cells,omitempty"`
+	// Perception, when true, additionally folds every event into
+	// per-perceptual-class counters and per-event-class sketches
+	// (internal/perception, Default calibration) and records them in each
+	// ledger cell's optional perception block. Off by default: the flag
+	// changes the ledger bytes, so pre-existing specs and their committed
+	// ledgers are untouched.
+	Perception bool `json:"perception,omitempty"`
 	// Notes is free-form provenance.
 	Notes string `json:"notes,omitempty"`
 }

@@ -8,6 +8,7 @@ import (
 
 	"latlab/internal/experiments"
 	"latlab/internal/kernel"
+	"latlab/internal/perception"
 	"latlab/internal/runner"
 	"latlab/internal/scenario"
 	"latlab/internal/stats"
@@ -121,6 +122,9 @@ type Cell struct {
 	// SeedStart and SeedCount delimit the seed subrange.
 	SeedStart uint64
 	SeedCount int
+	// Perception carries the spec's perception flag: fold per-class
+	// stats into the cell's record.
+	Perception bool
 }
 
 // ID returns the cell id used in ledger records and error messages.
@@ -147,14 +151,15 @@ func Cells(c *Campaign) []Cell {
 			d.Seed = 0
 			applyFaultVariant(&d, ref.Faults)
 			out = append(out, Cell{
-				Index:     i,
-				Doc:       d,
-				Scenario:  ref.Scenario,
-				Persona:   ref.Persona,
-				Machine:   ref.Machine,
-				Faults:    ref.Faults,
-				SeedStart: ref.SeedStart,
-				SeedCount: ref.SeedCount,
+				Index:      i,
+				Doc:        d,
+				Scenario:   ref.Scenario,
+				Persona:    ref.Persona,
+				Machine:    ref.Machine,
+				Faults:     ref.Faults,
+				SeedStart:  ref.SeedStart,
+				SeedCount:  ref.SeedCount,
+				Perception: c.Spec.Perception,
 			})
 		}
 		return out
@@ -183,14 +188,15 @@ func Cells(c *Campaign) []Cell {
 						d.Seed = 0
 						applyFaultVariant(&d, f)
 						out = append(out, Cell{
-							Index:     len(out),
-							Doc:       d,
-							Scenario:  doc.ID,
-							Persona:   p,
-							Machine:   m,
-							Faults:    f,
-							SeedStart: start,
-							SeedCount: n,
+							Index:      len(out),
+							Doc:        d,
+							Scenario:   doc.ID,
+							Persona:    p,
+							Machine:    m,
+							Faults:     f,
+							SeedStart:  start,
+							SeedCount:  n,
+							Perception: c.Spec.Perception,
 						})
 						start += uint64(n)
 						remaining -= n
@@ -463,9 +469,43 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 func runCell(ctx context.Context, campaignID string, cell Cell, alpha float64, opt Options) (Record, error) {
 	sk := stats.NewSketch(alpha)
 	sessions := 0
+	// The perception fold walks the same events in the same order as the
+	// headline sketch, adding the identical float, so turning the block on
+	// never perturbs the headline distribution.
+	var per *PerceptionStats
+	model := perception.Default()
+	if cell.Perception {
+		per = &PerceptionStats{}
+	}
 	fold := func(sr *experiments.ScenarioResult) {
-		for _, ms := range sr.Row.Report.Latencies() {
+		for _, ev := range sr.Row.Report.Events {
+			ms := ev.Latency.Milliseconds()
 			sk.Add(ms)
+			if per == nil {
+				continue
+			}
+			ec := perception.ClassOfKind(ev.Kind)
+			switch model.Classify(ec, ms) {
+			case perception.Imperceptible:
+				per.Imperceptible++
+			case perception.Perceptible:
+				per.Perceptible++
+			case perception.Annoying:
+				per.Annoying++
+			default:
+				per.Unusable++
+			}
+			dst := &per.Command
+			switch ec {
+			case perception.Typing:
+				dst = &per.Typing
+			case perception.Pointing:
+				dst = &per.Pointing
+			}
+			if *dst == nil {
+				*dst = stats.NewSketch(alpha)
+			}
+			(*dst).Add(ms)
 		}
 		sessions++
 	}
@@ -479,24 +519,25 @@ func runCell(ctx context.Context, campaignID string, cell Cell, alpha float64, o
 		return Record{}, err
 	}
 	return Record{
-		Schema:    RecordSchemaVersion,
-		Campaign:  campaignID,
-		Scenario:  cell.Scenario,
-		Persona:   cell.Persona,
-		Machine:   cell.Machine,
-		Faults:    cell.Faults,
-		SeedStart: cell.SeedStart,
-		SeedCount: cell.SeedCount,
-		Quick:     opt.Quick,
-		Sessions:  sessions,
-		Events:    sk.Count(),
-		P50Ms:     sk.Quantile(0.50),
-		P95Ms:     sk.Quantile(0.95),
-		P99Ms:     sk.Quantile(0.99),
-		MaxMs:     sk.Max(),
-		MeanMs:    sk.Mean(),
-		JitterMs:  sk.StdDev(),
-		Sketch:    sk,
+		Schema:     RecordSchemaVersion,
+		Campaign:   campaignID,
+		Scenario:   cell.Scenario,
+		Persona:    cell.Persona,
+		Machine:    cell.Machine,
+		Faults:     cell.Faults,
+		SeedStart:  cell.SeedStart,
+		SeedCount:  cell.SeedCount,
+		Quick:      opt.Quick,
+		Sessions:   sessions,
+		Events:     sk.Count(),
+		P50Ms:      sk.Quantile(0.50),
+		P95Ms:      sk.Quantile(0.95),
+		P99Ms:      sk.Quantile(0.99),
+		MaxMs:      sk.Max(),
+		MeanMs:     sk.Mean(),
+		JitterMs:   sk.StdDev(),
+		Sketch:     sk,
+		Perception: per,
 	}, nil
 }
 

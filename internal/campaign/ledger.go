@@ -51,6 +51,72 @@ type Record struct {
 	// Sketch is the cell's full latency distribution, mergeable across
 	// cells.
 	Sketch *stats.Sketch `json:"sketch"`
+	// Perception is the optional perceptual-class block (specs with
+	// "perception": true): how the cell's events classify under the
+	// default perception calibration, plus a latency sketch per event
+	// class. Nil — and absent from the JSON — for every record written
+	// before the block existed or without the spec flag, so old ledgers
+	// stay canonical byte for byte.
+	Perception *PerceptionStats `json:"perception,omitempty"`
+}
+
+// PerceptionStats is a record's perceptual-class block: the event count
+// per perceptual latency class (internal/perception, Default budgets)
+// and one mergeable latency sketch per event class that had any events.
+type PerceptionStats struct {
+	// Per-perceptual-class event counts; they sum to the record's
+	// Events.
+	Imperceptible uint64 `json:"imperceptible"`
+	Perceptible   uint64 `json:"perceptible"`
+	Annoying      uint64 `json:"annoying"`
+	Unusable      uint64 `json:"unusable"`
+	// Per-event-class latency distributions; a class with no events is
+	// nil and absent from the JSON.
+	Typing   *stats.Sketch `json:"typing,omitempty"`
+	Pointing *stats.Sketch `json:"pointing,omitempty"`
+	Command  *stats.Sketch `json:"command,omitempty"`
+}
+
+// ClassTotal sums the perceptual-class counters.
+func (p *PerceptionStats) ClassTotal() uint64 {
+	return p.Imperceptible + p.Perceptible + p.Annoying + p.Unusable
+}
+
+// sketchTotal sums the per-event-class sketch counts.
+func (p *PerceptionStats) sketchTotal() uint64 {
+	var n uint64
+	for _, sk := range []*stats.Sketch{p.Typing, p.Pointing, p.Command} {
+		if sk != nil {
+			n += sk.Count()
+		}
+	}
+	return n
+}
+
+// Merge folds o into p: counters add, per-event-class sketches merge
+// (adopting o's sketch where p has none for that class).
+func (p *PerceptionStats) Merge(o *PerceptionStats) error {
+	p.Imperceptible += o.Imperceptible
+	p.Perceptible += o.Perceptible
+	p.Annoying += o.Annoying
+	p.Unusable += o.Unusable
+	pair := []struct {
+		dst **stats.Sketch
+		src *stats.Sketch
+	}{{&p.Typing, o.Typing}, {&p.Pointing, o.Pointing}, {&p.Command, o.Command}}
+	for _, x := range pair {
+		if x.src == nil {
+			continue
+		}
+		if *x.dst == nil {
+			adopted := stats.NewSketch(x.src.Alpha())
+			*x.dst = adopted
+		}
+		if err := (*x.dst).Merge(x.src); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Config returns the record's configuration key: the cube coordinates
@@ -85,6 +151,16 @@ func (r Record) Validate() error {
 	if r.Sketch.Count() != r.Events {
 		return fmt.Errorf("campaign: record %s events %d do not match sketch count %d",
 			r.Cell(), r.Events, r.Sketch.Count())
+	}
+	if p := r.Perception; p != nil {
+		if got := p.ClassTotal(); got != r.Events {
+			return fmt.Errorf("campaign: record %s perception classes total %d, want %d events",
+				r.Cell(), got, r.Events)
+		}
+		if got := p.sketchTotal(); got != r.Events {
+			return fmt.Errorf("campaign: record %s perception sketches total %d, want %d events",
+				r.Cell(), got, r.Events)
+		}
 	}
 	for name, v := range map[string]float64{
 		"p50_ms": r.P50Ms, "p95_ms": r.P95Ms, "p99_ms": r.P99Ms,

@@ -142,14 +142,14 @@ func FuzzParseLedger(f *testing.F) {
 	}
 	f.Add(line)
 	f.Add(append(line, line...))
-	f.Add(line[:len(line)-1])                                     // truncated
+	f.Add(line[:len(line)-1])                                       // truncated
 	f.Add(append(append([]byte{}, line...), line[:len(line)/2]...)) // torn tail after a valid record
 	f.Add(append(append([]byte{}, line...), line[:1]...))           // one-byte torn tail
-	f.Add([]byte(`{"schema":1}` + "\n"))                          // incomplete record
-	f.Add([]byte(`{"bogus":true}` + "\n"))                        // unknown field
-	f.Add([]byte("\n"))                                           // blank line
-	f.Add([]byte(``))                                             // empty ledger
-	f.Add([]byte(strings.Replace(string(line), ":1,", ":2,", 1))) // perturbed
+	f.Add([]byte(`{"schema":1}` + "\n"))                            // incomplete record
+	f.Add([]byte(`{"bogus":true}` + "\n"))                          // unknown field
+	f.Add([]byte("\n"))                                             // blank line
+	f.Add([]byte(``))                                               // empty ledger
+	f.Add([]byte(strings.Replace(string(line), ":1,", ":2,", 1)))   // perturbed
 	f.Fuzz(func(t *testing.T, data []byte) {
 		recs, err := ParseLedger(data)
 		if err != nil {

@@ -155,8 +155,8 @@ func FuzzParseQuarantine(f *testing.F) {
 	f.Add([]byte(""))
 	f.Add(valid)
 	f.Add(append(append([]byte{}, valid...), valid...))
-	f.Add(valid[:len(valid)-1])                 // torn tail
-	f.Add(valid[:len(valid)/2])                 // torn mid-entry
+	f.Add(valid[:len(valid)-1]) // torn tail
+	f.Add(valid[:len(valid)/2]) // torn mid-entry
 	f.Add([]byte("{}\n"))
 	f.Add([]byte("\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -5,6 +5,7 @@ import (
 
 	"latlab/internal/cpu"
 	"latlab/internal/kernel"
+	"latlab/internal/machine"
 	"latlab/internal/simtime"
 	"latlab/internal/trace"
 )
@@ -75,6 +76,64 @@ func TestEngineEquivalence(t *testing.T) {
 			t.Fatalf("counter %v diverged: reference %d, batched %d",
 				cpu.EventKind(kind), refSnap[kind], batSnap[kind])
 		}
+	}
+}
+
+// TestEngineEquivalenceModernMachine re-proves engine equivalence on the
+// 2026 profile, where three new mechanisms interact with idle elision:
+// DVFS transitions re-price the idle loop's cycles (the sigClock guard
+// must dirty stale signatures), auxiliary-core housekeeping events land
+// inside otherwise-idle stretches, and disk-interrupt coalescing timers
+// sit on the event queue. The batched engine must still elide work and
+// still match the reference byte for byte.
+func TestEngineEquivalenceModernMachine(t *testing.T) {
+	run := func(eng kernel.Engine) ([]trace.IdleSample, *kernel.Kernel) {
+		cfg := kernel.DefaultConfig()
+		cfg.Machine = machine.Modern2026()
+		cfg.Engine = eng
+		k := kernel.New(cfg)
+		il := StartIdleLoop(k, 8192)
+		sleep := true
+		k.SpawnLoopOn("housekeep", kernel.KernelProc, 4, 1, func(lc *kernel.LoopTC) bool {
+			if sleep {
+				lc.Sleep(170 * simtime.Millisecond)
+			} else {
+				lc.Compute(cpu.Segment{Name: "scrub", BaseCycles: 400_000, CodePages: []uint64{31}, CacheChunks: []uint64{77, 78}})
+			}
+			sleep = !sleep
+			return true
+		})
+		k.Spawn("worker", 1, 8, func(tc *kernel.TC) {
+			for i := 0; i < 6; i++ {
+				tc.Sleep(220 * simtime.Millisecond)
+				tc.Compute(cpu.Segment{Name: "burst", BaseCycles: 5_000_000, Instructions: 3_000_000})
+			}
+		})
+		k.Run(simtime.Time(2 * simtime.Second))
+		k.Shutdown()
+		return il.Samples(), k
+	}
+	ref, kr := run(kernel.Engine{})
+	bat, kb := run(kernel.BatchedEngine())
+	if kb.BulkElided() == 0 {
+		t.Fatalf("batched engine elided nothing on the modern profile")
+	}
+	if len(ref) != len(bat) {
+		t.Fatalf("sample count diverged: reference %d, batched %d", len(ref), len(bat))
+	}
+	for i := range ref {
+		if ref[i] != bat[i] {
+			t.Fatalf("sample %d diverged: reference %+v, batched %+v", i, ref[i], bat[i])
+		}
+	}
+	if a, b := kr.NonIdleBusyTime(), kb.NonIdleBusyTime(); a != b {
+		t.Fatalf("busy time diverged: %v vs %v", a, b)
+	}
+	if a, b := kr.AuxBusyTime(), kb.AuxBusyTime(); a != b || a == 0 {
+		t.Fatalf("aux busy diverged or vanished: %v vs %v", a, b)
+	}
+	if a, b := kr.DVFSLevel(), kb.DVFSLevel(); a != b {
+		t.Fatalf("governor level diverged: %d vs %d", a, b)
 	}
 }
 

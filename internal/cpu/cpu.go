@@ -112,6 +112,33 @@ type CPU struct {
 	counts [NumEventKinds]int64
 	rec    *spans.Recorder
 	clock  func() simtime.Time
+	// eff is the current operating clock under DVFS; 0 means the CPU
+	// runs at Freq (the fixed-clock machines never touch it).
+	eff simtime.Hz
+}
+
+// Clock returns the current operating frequency: the DVFS level when a
+// governor has set one, Freq otherwise.
+func (c *CPU) Clock() simtime.Hz {
+	if c.eff != 0 {
+		return c.eff
+	}
+	return c.Freq
+}
+
+// SetClock moves the operating point to hz (a DVFS level transition);
+// 0 restores the base clock. The cycle counter (CycleAt) is invariant —
+// it keeps ticking at Freq, like a modern x86 TSC — so changing the
+// operating point changes how long work takes, not how time is read.
+func (c *CPU) SetClock(hz simtime.Hz) { c.eff = hz }
+
+// DurationOf converts a cycle count to wall time at the current
+// operating frequency.
+func (c *CPU) DurationOf(cycles int64) simtime.Duration {
+	if c.eff != 0 {
+		return c.eff.DurationOf(cycles)
+	}
+	return c.Freq.DurationOf(cycles)
 }
 
 // SetRecorder attaches a span recorder reading simulated time from
@@ -178,7 +205,7 @@ func (c *CPU) Execute(seg Segment) (cycles int64, d simtime.Duration) {
 	c.counts[SegmentLoads] += seg.SegmentLoads
 	c.counts[UnalignedAccesses] += seg.UnalignedAccesses
 
-	return cycles, c.Freq.DurationOf(cycles)
+	return cycles, c.DurationOf(cycles)
 }
 
 // DomainCross models a protection-domain crossing: it flushes both TLBs
@@ -188,7 +215,7 @@ func (c *CPU) DomainCross() (cycles int64, d simtime.Duration) {
 	c.Mem.FlushTLBs()
 	c.counts[DomainCrossings]++
 	cycles = c.Penalties.DomainCrossing
-	d = c.Freq.DurationOf(cycles)
+	d = c.DurationOf(cycles)
 	if c.rec != nil {
 		now := c.clock()
 		c.rec.ChargeSpan(spans.CauseDomainCross, "cross", now, now.Add(d), cycles, 1)
@@ -221,14 +248,14 @@ func (c *CPU) executeTraced(seg Segment) (cycles int64, d simtime.Duration) {
 	c.counts[SegmentLoads] += seg.SegmentLoads
 	c.counts[UnalignedAccesses] += seg.UnalignedAccesses
 
-	d = c.Freq.DurationOf(cycles)
+	d = c.DurationOf(cycles)
 	t := c.clock()
 	ex := c.rec.BeginAt(spans.CauseExec, seg.Name, t)
 	charge := func(cause spans.Cause, cyc, count int64) {
 		if cyc == 0 && count == 0 {
 			return
 		}
-		end := t.Add(c.Freq.DurationOf(cyc))
+		end := t.Add(c.DurationOf(cyc))
 		c.rec.ChargeSpan(cause, seg.Name, t, end, cyc, count)
 		t = end
 	}
@@ -243,5 +270,12 @@ func (c *CPU) executeTraced(seg Segment) (cycles int64, d simtime.Duration) {
 }
 
 // CycleAt returns the free-running 64-bit cycle counter value at instant
-// t. The counter ticks with time, not with work (it is the Pentium TSC).
+// t. The counter ticks with time, not with work (it is the Pentium TSC),
+// and it is *invariant*: it always advances at the base clock Freq even
+// when DVFS has moved the operating point, like a modern x86 TSC. Code
+// that converts TSC deltas to wall time at the base frequency — the
+// idle-loop instrument does exactly this — stays calibrated across
+// frequency transitions, but observes elongated samples while the clock
+// is below max. That distortion is a modeled phenomenon, not a bug; see
+// the ext-modern-dvfs experiment.
 func (c *CPU) CycleAt(t simtime.Time) int64 { return c.Freq.CycleAt(t) }

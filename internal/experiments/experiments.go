@@ -212,7 +212,9 @@ func init() {
 		"fig8", "table1", "fig9", "fig10", "fig11", "table2", "fig12", "s54",
 		"ext-batching", "ext-thinkwait", "ext-metric", "ext-slowcpu", "ext-interrupts",
 		"ext-faults-disk", "ext-faults-irq", "ext-faults-cache",
-		"ext-hw-clock", "ext-hw-l2", "ext-hw-tlb", "ext-attrib"} {
+		"ext-hw-clock", "ext-hw-l2", "ext-hw-tlb", "ext-attrib",
+		"ext-modern-clock", "ext-modern-dvfs", "ext-modern-nvme",
+		"ext-modern-irq", "ext-modern-smt"} {
 		paperOrder[id] = i
 	}
 }

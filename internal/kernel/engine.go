@@ -126,6 +126,10 @@ func (k *Kernel) noteBulkCycle(t *Thread, r *request) {
 		t.bulkClean = true
 		t.sigD1, t.sigD2 = t.cycleD1, t.cycleD2
 		t.sigDelta = t.cycleDelta
+		// The signature's durations were priced at this operating
+		// frequency; under DVFS a later governor transition invalidates
+		// them (tryBulkSkip checks).
+		t.sigClock = k.cpu.Clock()
 		t.cycleSeg, t.cycleSeg2 = r.seg, r.seg2
 	case t.bulkClean && transparent &&
 		t.cycleD1 == t.sigD1 && t.cycleD2 == t.sigD2 &&
@@ -166,6 +170,14 @@ func (k *Kernel) tryBulkSkip(t *Thread) {
 	}
 	d := t.sigD1 + t.sigD2
 	if d <= 0 || !segsEqual(&r.seg, &t.cycleSeg) || !segsEqual(&r.seg2, &t.cycleSeg2) {
+		return
+	}
+	if k.cpu.Clock() != t.sigClock {
+		// A DVFS transition since the signature was recorded re-prices
+		// every cycle; elision must wait for a fresh canonical cycle at
+		// the new operating point. Frequency only changes at clock-tick
+		// events, and elision never crosses a queued event, so within
+		// an elided span the clock is provably constant.
 		return
 	}
 	// Elide only cycles that end strictly before the next queued event

@@ -190,6 +190,19 @@ type Kernel struct {
 	episode  spans.Handle
 	epThread int
 	epOpen   bool
+
+	// Modern-machine state (multicore.go); all of it stays zero on a
+	// 1996 profile. aux holds logical CPUs 1..Cores-1; dvfs is the
+	// governor spec with dvfsLevel/dvfsBusyMark its per-tick state;
+	// irqc/irqPending/irqTimer implement disk-interrupt coalescing.
+	aux           []auxCore
+	auxMigrations int64
+	dvfs          machine.DVFSSpec
+	dvfsLevel     int
+	dvfsBusyMark  simtime.Duration
+	irqc          machine.IRQCoalesceSpec
+	irqPending    []func(now simtime.Time)
+	irqTimer      eventq.Handle
 }
 
 // New builds a kernel (and its machine: CPU, disk, buffer cache) from
@@ -225,6 +238,18 @@ func New(cfg Config) *Kernel {
 	k.ctrs = cpu.NewCounterFile(k.cpu)
 	k.disk = disk.New(dp, k, cfg.DiskSeed)
 	k.cache = fscache.New(k.disk, cfg.CachePages)
+	if n := prof.Cores - 1; n > 0 {
+		k.aux = make([]auxCore, n)
+	}
+	if prof.DVFS.Enabled() && (cfg.CPUFrequency == 0 || cfg.CPUFrequency == prof.ClockHz) {
+		// The machine boots at the governor's lowest level, the resting
+		// point an idle machine decays to. A CPUFrequency override that
+		// contradicts the ladder disables the governor instead of
+		// running a ladder whose max is not the machine's clock.
+		k.dvfs = prof.DVFS
+		k.cpu.SetClock(k.dvfs.Level(0))
+	}
+	k.irqc = prof.IRQCoalesce
 	k.scheduleClock()
 	return k
 }
@@ -440,6 +465,11 @@ func (k *Kernel) scheduleClock() {
 			return
 		}
 		k.clockTicks++
+		if k.dvfs.Enabled() {
+			// Governor step first, over the window that just closed,
+			// before this tick's own handler cost lands in the next one.
+			k.dvfsTick()
+		}
 		k.RaiseInterrupt(k.cfg.ClockInterrupt, nil)
 		next := k.now.Add(k.cfg.ClockTick)
 		if k.tickJitter != nil {
@@ -550,6 +580,12 @@ func (k *Kernel) wake(t *Thread) {
 }
 
 func (k *Kernel) makeReady(t *Thread) {
+	if t.affinity > 0 {
+		// Pinned housekeeping threads never touch the scheduler core's
+		// ready queue; they wake onto their auxiliary core.
+		k.auxReady(t)
+		return
+	}
 	t.state = StateReady
 	t.readySeq = k.seq
 	k.seq++

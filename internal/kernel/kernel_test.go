@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"latlab/internal/cpu"
+	"latlab/internal/machine"
 	"latlab/internal/rng"
 	"latlab/internal/simtime"
 	"latlab/internal/trace"
@@ -656,5 +657,37 @@ func TestBusyConservationProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestIRQCoalescingBatchesDiskCompletions drives concurrent synchronous
+// reads on the NVMe profile and checks that the coalescing machine
+// completes the identical I/O with strictly fewer interrupts than its
+// per-request twin — the whole point of the axis — while every reader
+// still finishes.
+func TestIRQCoalescingBatchesDiskCompletions(t *testing.T) {
+	run := func(prof machine.Profile) (interrupts int64, done int) {
+		cfg := DefaultConfig()
+		cfg.Machine = prof
+		k := New(cfg)
+		defer k.Shutdown()
+		f := k.Cache().AddFile("data", 0, 4096)
+		for i := 0; i < 8; i++ {
+			page := int64(1 + 97*i)
+			k.Spawn("reader", ProcID(i+1), 8, func(tc *TC) {
+				tc.ReadFile(f, page, 1)
+				done++
+			})
+		}
+		k.Run(simtime.Time(2 * simtime.Second))
+		return k.CPU().Count(cpu.Interrupts), done
+	}
+	perIRQ, doneA := run(machine.Modern2026NoCoalesce())
+	coalesced, doneB := run(machine.Modern2026Pinned())
+	if doneA != 8 || doneB != 8 {
+		t.Fatalf("readers completed %d / %d, want 8 / 8", doneA, doneB)
+	}
+	if coalesced >= perIRQ {
+		t.Fatalf("coalescing took %d interrupts, per-request twin %d — no batching happened", coalesced, perIRQ)
 	}
 }

@@ -320,7 +320,7 @@ func (k *Kernel) process(t *Thread) {
 	case reqModeSwitch:
 		if !r.started {
 			r.started = true
-			if d := k.cpu.Freq.DurationOf(k.cfg.ModeSwitchCycles); d > 0 {
+			if d := k.cpu.DurationOf(k.cfg.ModeSwitchCycles); d > 0 {
 				if k.rec != nil {
 					k.rec.ChargeSpan(spans.CauseModeSwitch, t.name, k.now, k.now.Add(d), k.cfg.ModeSwitchCycles, 1)
 				}
@@ -419,7 +419,7 @@ func (k *Kernel) process(t *Thread) {
 				if inline {
 					return // all pages hit; no block happened
 				}
-				k.RaiseInterrupt(k.cfg.DiskInterrupt, func(now2 simtime.Time) {
+				k.raiseDiskInterrupt(func(now2 simtime.Time) {
 					t.ioReady = true
 					k.setSyncIO(k.syncIO - 1)
 					k.wake(t)
@@ -458,7 +458,7 @@ func (k *Kernel) process(t *Thread) {
 				if err != nil {
 					k.ioErrs++
 				}
-				k.RaiseInterrupt(k.cfg.DiskInterrupt, func(now2 simtime.Time) {
+				k.raiseDiskInterrupt(func(now2 simtime.Time) {
 					t.ioReady = true
 					k.setSyncIO(k.syncIO - 1)
 					k.wake(t)

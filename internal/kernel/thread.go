@@ -140,8 +140,15 @@ type Thread struct {
 	sigD1         simtime.Duration
 	sigD2         simtime.Duration
 	sigDelta      [cpu.NumEventKinds]int64
+	sigClock      simtime.Hz
 	cycleSeg      cpu.Segment
 	cycleSeg2     cpu.Segment
+
+	// affinity pins a loop thread to a logical CPU (multicore.go);
+	// 0 means the scheduler core. lastCPU is where the thread's last
+	// chunk ran, for charging the migration tax.
+	affinity int
+	lastCPU  int
 
 	state    ThreadState
 	readySeq uint64
@@ -327,7 +334,7 @@ func (tc *TC) ReadFileAsync(file fscache.FileID, page, pages int64, kind MsgKind
 		if inline {
 			return
 		}
-		k.RaiseInterrupt(k.cfg.DiskInterrupt, func(simtime.Time) {
+		k.raiseDiskInterrupt(func(simtime.Time) {
 			k.deliver(t, Msg{Kind: kind, Param: param})
 		})
 	})

@@ -51,6 +51,108 @@ type DiskGeometry struct {
 	ControllerOverhead simtime.Duration
 }
 
+// MaxDVFSLevels bounds the frequency ladder. A fixed-size array (not a
+// slice) keeps Profile comparable with ==, which the test suite and the
+// derivation-identity checks rely on.
+const MaxDVFSLevels = 6
+
+// DVFSSpec describes a load-following frequency governor: an ascending
+// ladder of clock levels plus the busy-percent thresholds that move the
+// operating point up or down one level per governor window (the kernel
+// evaluates it every clock tick). The zero value means DVFS is off and
+// the machine runs at Profile.ClockHz forever — the pre-modern code
+// path, byte-identical.
+//
+// The cycle counter is modeled as an invariant TSC: it always advances
+// at Profile.ClockHz (the base/max clock) regardless of the current
+// operating point, exactly like modern x86 TSCs. The idle-loop
+// methodology calibrates against that base clock, so running slower
+// elongates its samples — the central measurement distortion the
+// ext-modern-dvfs experiment quantifies.
+type DVFSSpec struct {
+	// Levels is the ascending clock ladder, zero-terminated; the last
+	// non-zero entry must equal the profile's ClockHz (the max/turbo
+	// level), and every entry must divide a second evenly.
+	Levels [MaxDVFSLevels]simtime.Hz
+	// UpPct and DownPct are non-idle busy-percent thresholds over one
+	// governor window: above UpPct the governor steps one level up,
+	// below DownPct one level down, otherwise it holds.
+	UpPct   int
+	DownPct int
+}
+
+// Enabled reports whether the spec describes an active governor.
+func (s DVFSSpec) Enabled() bool { return s.Levels[0] != 0 }
+
+// NumLevels returns the number of configured ladder levels.
+func (s DVFSSpec) NumLevels() int {
+	n := 0
+	for _, hz := range s.Levels {
+		if hz == 0 {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// Level returns the clock at ladder position i, clamped to the ladder.
+func (s DVFSSpec) Level(i int) simtime.Hz {
+	n := s.NumLevels()
+	if n == 0 {
+		return 0
+	}
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return s.Levels[i]
+}
+
+// Next returns the ladder position after one governor window that
+// observed busyPct percent non-idle busy time. It is a pure function —
+// deterministic, and monotone in busyPct for any fixed level — which is
+// what makes the governor property-testable.
+func (s DVFSSpec) Next(level, busyPct int) int {
+	n := s.NumLevels()
+	if n == 0 {
+		return 0
+	}
+	if level < 0 {
+		level = 0
+	}
+	if level >= n {
+		level = n - 1
+	}
+	switch {
+	case busyPct > s.UpPct && level < n-1:
+		return level + 1
+	case busyPct < s.DownPct && level > 0:
+		return level - 1
+	}
+	return level
+}
+
+// IRQCoalesceSpec describes device-interrupt coalescing, NVMe-style: a
+// completed I/O arms a coalescing timer instead of raising its interrupt
+// immediately, and the interrupt fires once for every completion that
+// accumulated inside the window (or as soon as MaxBatch completions are
+// pending). The zero value means every completion raises its own
+// interrupt — the 1996 behavior, byte-identical.
+type IRQCoalesceSpec struct {
+	// Window is the coalescing timer armed by the first pending
+	// completion; 0 disables coalescing entirely.
+	Window simtime.Duration
+	// MaxBatch flushes early once this many completions are pending
+	// (0 means no batch cap, timer only).
+	MaxBatch int
+}
+
+// Enabled reports whether completions are coalesced.
+func (s IRQCoalesceSpec) Enabled() bool { return s.Window > 0 }
+
 // Profile is one hardware configuration. The zero value is not a valid
 // machine; use Pentium100 (or OrDefault, which maps the zero value to
 // it so structs embedding a Profile keep working unconfigured).
@@ -59,6 +161,12 @@ type Profile struct {
 	// used on CLI flags and in run manifests.
 	Name  string
 	Short string
+
+	// Era groups profiles by hardware generation ("1996", "2026") and
+	// Desc is a one-line description; both are documentation fields
+	// (latbench -list, doc walkthroughs) with no simulation effect.
+	Era  string
+	Desc string
 
 	// ClockHz is the CPU clock. Segment costs are cycle counts, so the
 	// clock scales every computation's wall time; it must divide a
@@ -97,6 +205,29 @@ type Profile struct {
 
 	// Disk is the drive geometry.
 	Disk DiskGeometry
+
+	// Cores is the number of logical CPUs. 0 or 1 means the classic
+	// single-core machine (the exact pre-modern code path). Core 0 runs
+	// the full scheduler; cores 1..Cores-1 are auxiliary run queues
+	// hosting background housekeeping threads.
+	Cores int
+	// SMTPerCore is the number of logical CPUs sharing one physical
+	// core (2 = hyperthreading). Logical CPUs c and c^1 are siblings
+	// when SMTPerCore is 2; 0 or 1 means no SMT.
+	SMTPerCore int
+	// SMTContentionPct stretches a run chunk's duration by this percent
+	// when its SMT sibling is busy at chunk start — the shared-pipeline
+	// tax of running two hardware threads on one core.
+	SMTContentionPct int
+	// MigrationCycles is the cache/TLB-refill tax charged when a thread
+	// runs on a different core than its previous chunk (work stealing).
+	MigrationCycles int64
+
+	// DVFS is the frequency governor; zero value = fixed clock.
+	DVFS DVFSSpec
+	// IRQCoalesce batches disk-completion interrupts; zero value =
+	// one interrupt per completion.
+	IRQCoalesce IRQCoalesceSpec
 }
 
 // IsZero reports whether p is the unconfigured zero value.
@@ -132,6 +263,38 @@ func (p Profile) Validate() {
 	if p.Disk.Blocks <= 0 || p.Disk.BlocksPerCylinder <= 0 {
 		panic(fmt.Sprintf("machine: %s has degenerate disk geometry", p.Short))
 	}
+	if p.Cores < 0 || p.SMTPerCore < 0 || p.SMTPerCore > 2 || p.SMTContentionPct < 0 || p.MigrationCycles < 0 {
+		panic(fmt.Sprintf("machine: %s has malformed core topology", p.Short))
+	}
+	if p.SMTPerCore == 2 && p.Cores%2 != 0 {
+		panic(fmt.Sprintf("machine: %s has SMT with an odd logical-CPU count", p.Short))
+	}
+	if p.DVFS.Enabled() {
+		n := p.DVFS.NumLevels()
+		prev := simtime.Hz(0)
+		for i := 0; i < n; i++ {
+			hz := p.DVFS.Levels[i]
+			hz.Validate()
+			if hz <= prev {
+				panic(fmt.Sprintf("machine: %s DVFS ladder is not strictly ascending", p.Short))
+			}
+			prev = hz
+		}
+		for i := n; i < MaxDVFSLevels; i++ {
+			if p.DVFS.Levels[i] != 0 {
+				panic(fmt.Sprintf("machine: %s DVFS ladder is not zero-terminated", p.Short))
+			}
+		}
+		if p.DVFS.Levels[n-1] != p.ClockHz {
+			panic(fmt.Sprintf("machine: %s DVFS max level must equal ClockHz", p.Short))
+		}
+		if p.DVFS.UpPct <= p.DVFS.DownPct || p.DVFS.UpPct > 100 || p.DVFS.DownPct < 0 {
+			panic(fmt.Sprintf("machine: %s has malformed DVFS thresholds", p.Short))
+		}
+	}
+	if p.IRQCoalesce.Window < 0 || p.IRQCoalesce.MaxBatch < 0 {
+		panic(fmt.Sprintf("machine: %s has malformed IRQ coalescing", p.Short))
+	}
 }
 
 // fujitsuM1606 is the paper's dedicated SCSI disk (§2.1): ~1 GB,
@@ -159,6 +322,8 @@ func Pentium100() Profile {
 	return Profile{
 		Name:              "Pentium 100 MHz",
 		Short:             "p100",
+		Era:               "1996",
+		Desc:              "the paper's experimental machine (§2.1); the byte-identical default",
 		ClockHz:           100_000_000,
 		ITLBEntries:       32,
 		DTLBEntries:       64,
@@ -181,6 +346,7 @@ func Pentium200() Profile {
 	p := Pentium100()
 	p.Name = "Pentium 200 MHz"
 	p.Short = "p200"
+	p.Desc = "double the clock, memory wall intact (more cycles per DRAM access)"
 	p.ClockHz = 200_000_000
 	p.TLBMissCycles = 40
 	p.DRAMLatencyCycles = 40
@@ -195,6 +361,7 @@ func PentiumTaggedTLB() Profile {
 	p := Pentium100()
 	p.Name = "Pentium 100 MHz, tagged TLBs"
 	p.Short = "ptlb"
+	p.Desc = "the paper's §6 counterfactual: crossings stop flushing the TLBs"
 	p.TaggedTLB = true
 	return p
 }
@@ -207,6 +374,7 @@ func P100NoL2() Profile {
 	p := Pentium100()
 	p.Name = "Pentium 100 MHz, no L2"
 	p.Short = "nol2"
+	p.Desc = "no L2 at all: every cache reference pays the DRAM latency"
 	p.L2Bytes = 0
 	p.L2LineBytes = 0
 	return p
@@ -218,6 +386,7 @@ func P100FastDisk() Profile {
 	p := Pentium100()
 	p.Name = "Pentium 100 MHz, fast disk"
 	p.Short = "fastdisk"
+	p.Desc = "7200 RPM-class drive: the what-if for Table 1's disk-bound seconds"
 	p.Disk = DiskGeometry{
 		Blocks:             2_000_000,
 		BlocksPerCylinder:  800,
@@ -231,9 +400,130 @@ func P100FastDisk() Profile {
 	return p
 }
 
+// nvmeDrive is an NVMe-class SSD: no moving parts, so the positional
+// model degenerates — a cylinder so large every request lands on it
+// (block distance never crosses one, so seek time is identically zero)
+// and zero rotation. What remains is the fixed command cost (~12 µs
+// submission-to-completion for a queue-depth-1 read on a 2026 drive)
+// plus media transfer at ~3.4 GB/s (~150 ns per 512-byte block). The
+// disk model itself is untouched: geometry alone expresses the device.
+func nvmeDrive() DiskGeometry {
+	return DiskGeometry{
+		Blocks:             4_000_000_000, // ~2 TB
+		BlocksPerCylinder:  4_000_000_000, // one "cylinder": seek distance always 0
+		SeekSettle:         0,
+		SeekPerCylinder:    0,
+		MaxSeek:            0,
+		Rotation:           0,
+		TransferPerBlock:   150 * simtime.Nanosecond,
+		ControllerOverhead: 12 * simtime.Microsecond,
+	}
+}
+
+// Modern2026 is a 2026-class desktop: 8 logical CPUs (4 physical cores
+// × 2-way SMT), a load-following DVFS governor, NVMe storage, and
+// interrupt coalescing.
+//
+// The clock deserves a caveat: simtime requires an integral-nanosecond
+// cycle period (simtime.Hz.Validate), so 1 GHz is the highest
+// representable clock. Modern2026 therefore models a 2026 core as a
+// 1 GHz machine with 2026-era per-cycle costs — a ~30 ns page walk is
+// 30 cycles, ~80 ns DRAM is 80 cycles, against p100's 250 ns / 200 ns.
+// Relative to p100 that is a 10× clock and an honest memory wall; the
+// EXPERIMENTS.md chapter discusses the cap explicitly. The DVFS ladder
+// (250/500/1000 MHz) steps by the same integral-period rule.
+func Modern2026() Profile {
+	return Profile{
+		Name:              "2026 desktop (8T/4C, DVFS, NVMe)",
+		Short:             "m2026",
+		Era:               "2026",
+		Desc:              "2026 desktop: SMT multicore, DVFS governor, NVMe, IRQ coalescing",
+		ClockHz:           1_000_000_000,
+		ITLBEntries:       512,
+		DTLBEntries:       1024,
+		TaggedTLB:         true, // PCID: no crossing flushes
+		L2Bytes:           8 << 20,
+		L2LineBytes:       64,
+		TLBMissCycles:     30, // ~30 ns page walk
+		DRAMLatencyCycles: 80, // ~80 ns DRAM
+		SegLoadCycles:     1,  // segmentation is vestigial
+		UnalignedCycles:   0,  // unaligned access is free on modern cores
+		Disk:              nvmeDrive(),
+		Cores:             8,
+		SMTPerCore:        2,
+		SMTContentionPct:  35,
+		MigrationCycles:   3000, // ~3 µs of cache/TLB refill
+		DVFS: DVFSSpec{
+			Levels:  [MaxDVFSLevels]simtime.Hz{250_000_000, 500_000_000, 1_000_000_000},
+			UpPct:   25,
+			DownPct: 10,
+		},
+		IRQCoalesce: IRQCoalesceSpec{
+			Window:   200 * simtime.Microsecond,
+			MaxBatch: 8,
+		},
+	}
+}
+
+// Modern2026Pinned is Modern2026 with the governor disabled — the clock
+// pinned at the 1 GHz max level. The control arm for ext-modern-dvfs,
+// and the base for the other single-axis modern counterfactuals (which
+// keep the clock pinned so the axis under test is the only difference).
+func Modern2026Pinned() Profile {
+	p := Modern2026()
+	p.Name = "2026 desktop, clock pinned at max"
+	p.Short = "m2026-pin"
+	p.Desc = "m2026 with DVFS off: clock pinned at 1 GHz"
+	p.DVFS = DVFSSpec{}
+	return p
+}
+
+// Modern2026Uni squeezes the pinned machine down to one logical CPU, so
+// background housekeeping contends with foreground work on core 0 the
+// way it always did in 1996 — the control arm for ext-modern-smt.
+func Modern2026Uni() Profile {
+	p := Modern2026Pinned()
+	p.Name = "2026 desktop, single core"
+	p.Short = "m2026-uni"
+	p.Desc = "m2026-pin squeezed to one logical CPU (no background offload)"
+	p.Cores = 1
+	p.SMTPerCore = 0
+	p.SMTContentionPct = 0
+	p.MigrationCycles = 0
+	return p
+}
+
+// Modern2026HDD puts the paper's 1996 Fujitsu spindle under the 2026
+// CPU — the control arm for ext-modern-nvme. Coalescing is also off
+// (per-request interrupts), matching how a 1996 driver ran the drive.
+func Modern2026HDD() Profile {
+	p := Modern2026Pinned()
+	p.Name = "2026 desktop, 1996 disk"
+	p.Short = "m2026-hdd"
+	p.Desc = "m2026-pin with the paper's 5400 RPM Fujitsu disk"
+	p.Disk = fujitsuM1606()
+	p.IRQCoalesce = IRQCoalesceSpec{}
+	return p
+}
+
+// Modern2026NoCoalesce turns interrupt coalescing off on the NVMe
+// machine, so every completion raises its own interrupt — the control
+// arm for ext-modern-irq.
+func Modern2026NoCoalesce() Profile {
+	p := Modern2026Pinned()
+	p.Name = "2026 desktop, per-request IRQs"
+	p.Short = "m2026-noirq"
+	p.Desc = "m2026-pin with IRQ coalescing off (one interrupt per completion)"
+	p.IRQCoalesce = IRQCoalesceSpec{}
+	return p
+}
+
 // All returns every named profile, default first.
 func All() []Profile {
-	return []Profile{Pentium100(), Pentium200(), PentiumTaggedTLB(), P100NoL2(), P100FastDisk()}
+	return []Profile{
+		Pentium100(), Pentium200(), PentiumTaggedTLB(), P100NoL2(), P100FastDisk(),
+		Modern2026(), Modern2026Pinned(), Modern2026Uni(), Modern2026HDD(), Modern2026NoCoalesce(),
+	}
 }
 
 // ByShort returns the profile with the given short name, or ok=false.

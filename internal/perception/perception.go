@@ -1,0 +1,252 @@
+// Package perception classifies measured event latencies against
+// user-perceived responsiveness thresholds, and models the alternative
+// input-to-display paths a system could take per event class.
+//
+// The paper's methodology produces distributions of event latencies;
+// this layer answers the question those numbers exist for: would a
+// user have noticed? Two lines of later work calibrate the answer.
+// The screencast-based GUI-responsiveness study (arXiv 2508.01337)
+// measured real applications against empirical perception thresholds
+// and found the classical ~100 ms "instantaneous" bound (which this
+// repo already uses as core.PerceptionThresholdMs) holds up for
+// discrete actions, with annoyance setting in by a few hundred
+// milliseconds and abandonment beyond a couple of seconds. POLYPATH
+// (arXiv 1608.05654) adds the per-class structure: different event
+// classes travel different input-to-display paths with different
+// latency/quality tradeoffs — a drag needs feedback far sooner than a
+// menu command, and a system that cannot make the full-fidelity path
+// fast enough can take a cheaper path (echo the glyph before layout,
+// drag an outline instead of the window) and backfill quality later.
+//
+// Everything here is pure arithmetic over already-measured latencies:
+// attaching the layer to a trace, a campaign ledger, or an experiment
+// table never perturbs a simulation.
+package perception
+
+import (
+	"latlab/internal/kernel"
+)
+
+// Class is a perceptual latency class, ordered from best to worst.
+type Class uint8
+
+// Perceptual classes. The boundaries come from Model budgets; the
+// names are the chapter's vocabulary.
+const (
+	// Imperceptible: below the class's perception threshold; the user
+	// experiences the response as instantaneous.
+	Imperceptible Class = iota
+	// Perceptible: noticeable lag, but within working tolerance.
+	Perceptible
+	// Annoying: the user notices and minds; flow is disrupted.
+	Annoying
+	// Unusable: beyond the tolerance ceiling; users retry, queue
+	// duplicate input, or abandon the action.
+	Unusable
+	// NumClasses counts the classes.
+	NumClasses
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Imperceptible:
+		return "imperceptible"
+	case Perceptible:
+		return "perceptible"
+	case Annoying:
+		return "annoying"
+	case Unusable:
+		return "unusable"
+	default:
+		return "class?"
+	}
+}
+
+// EventClass groups input events by the responsiveness contract they
+// carry, following POLYPATH's observation that budgets are per-class,
+// not global.
+type EventClass uint8
+
+// Event classes.
+const (
+	// Typing is discrete keystroke echo (WM_KEYDOWN, WM_CHAR).
+	Typing EventClass = iota
+	// Pointing is direct manipulation (mouse press/release, drags) —
+	// the tightest budgets: the hand is in the loop.
+	Pointing
+	// Command is everything invoked and then awaited: menu commands,
+	// window-management actions, navigation.
+	Command
+	// NumEventClasses counts the event classes.
+	NumEventClasses
+)
+
+// String names the event class.
+func (e EventClass) String() string {
+	switch e {
+	case Typing:
+		return "typing"
+	case Pointing:
+		return "pointing"
+	case Command:
+		return "command"
+	default:
+		return "event?"
+	}
+}
+
+// ClassOfKind maps a message kind to its event class. Kinds that are
+// not user input (timers, paints) fall into Command, the loosest
+// contract; they only appear if a caller classifies non-input events.
+func ClassOfKind(k kernel.MsgKind) EventClass {
+	switch k {
+	case kernel.WMKeyDown, kernel.WMChar:
+		return Typing
+	case kernel.WMMouseDown, kernel.WMMouseUp:
+		return Pointing
+	default:
+		return Command
+	}
+}
+
+// ClassOfLabel maps a message-kind name ("WM_KEYDOWN") to its event
+// class — the form trace attribution tables carry. Unknown labels fall
+// into Command.
+func ClassOfLabel(label string) EventClass {
+	switch label {
+	case "WM_KEYDOWN", "WM_CHAR":
+		return Typing
+	case "WM_LBUTTONDOWN", "WM_LBUTTONUP":
+		return Pointing
+	default:
+		return Command
+	}
+}
+
+// Budget holds one event class's three class boundaries, in
+// milliseconds: latency below PerceptibleMs is Imperceptible, below
+// AnnoyingMs Perceptible, below UnusableMs Annoying, else Unusable.
+type Budget struct {
+	PerceptibleMs float64
+	AnnoyingMs    float64
+	UnusableMs    float64
+}
+
+// Model is a full calibration: one Budget per event class.
+type Model struct {
+	Budgets [NumEventClasses]Budget
+}
+
+// Default returns the calibration the experiments and docs use.
+//
+//   - Typing keeps the classical 100 ms instantaneous bound — the same
+//     constant the paper's era used and core.PerceptionThresholdMs
+//     encodes — with annoyance from 300 ms and the 2 s ceiling this
+//     repo already uses as the irritation threshold.
+//   - Pointing is twice as strict (50 ms): direct manipulation couples
+//     the hand to the display, and the screencast study's continuous-
+//     interaction measurements sit well below the discrete bound.
+//   - Command is the loose contract (200 ms / 1 s / 3 s): an invoked
+//     action tolerates a beat of delay before annoyance, and multi-
+//     second waits are where abandonment behaviour begins.
+func Default() Model {
+	return Model{Budgets: [NumEventClasses]Budget{
+		Typing:   {PerceptibleMs: 100, AnnoyingMs: 300, UnusableMs: 2000},
+		Pointing: {PerceptibleMs: 50, AnnoyingMs: 150, UnusableMs: 1000},
+		Command:  {PerceptibleMs: 200, AnnoyingMs: 1000, UnusableMs: 3000},
+	}}
+}
+
+// Classify places one measured latency into its perceptual class under
+// the event class's budget.
+func (m Model) Classify(ec EventClass, ms float64) Class {
+	b := m.Budgets[ec]
+	switch {
+	case ms < b.PerceptibleMs:
+		return Imperceptible
+	case ms < b.AnnoyingMs:
+		return Perceptible
+	case ms < b.UnusableMs:
+		return Annoying
+	default:
+		return Unusable
+	}
+}
+
+// ClassifyKind is Classify with the kind→event-class mapping applied.
+func (m Model) ClassifyKind(k kernel.MsgKind, ms float64) Class {
+	return m.Classify(ClassOfKind(k), ms)
+}
+
+// Path is one input-to-display path: a named rendering strategy whose
+// latency is LatencyPct percent of the full path's, bought by giving
+// up fidelity. Paths per class are ordered best-quality first; the
+// first entry is always the full path at 100%.
+type Path struct {
+	Name       string
+	LatencyPct int
+}
+
+// Paths returns the event class's path ladder, POLYPATH-style: the
+// full-fidelity path first, then progressively cheaper feedback paths.
+// The percentages are modeling estimates of how much of the measured
+// full-path latency each strategy would retain.
+func Paths(ec EventClass) []Path {
+	switch ec {
+	case Typing:
+		return []Path{
+			{Name: "full-render", LatencyPct: 100},
+			{Name: "glyph-echo", LatencyPct: 35},
+			{Name: "caret-only", LatencyPct: 10},
+		}
+	case Pointing:
+		return []Path{
+			{Name: "full-render", LatencyPct: 100},
+			{Name: "outline-drag", LatencyPct: 30},
+			{Name: "cursor-only", LatencyPct: 5},
+		}
+	default:
+		return []Path{
+			{Name: "full-render", LatencyPct: 100},
+			{Name: "progressive", LatencyPct: 40},
+			{Name: "acknowledge", LatencyPct: 8},
+		}
+	}
+}
+
+// BestPath returns the highest-fidelity path that would have kept this
+// event imperceptible, given its measured full-path latency. ok is
+// false when even the cheapest path misses the budget — the event is
+// hopeless at any fidelity and the last path is returned for labeling.
+func (m Model) BestPath(ec EventClass, ms float64) (Path, bool) {
+	paths := Paths(ec)
+	budget := m.Budgets[ec].PerceptibleMs
+	for _, p := range paths {
+		if ms*float64(p.LatencyPct)/100 < budget {
+			return p, true
+		}
+	}
+	return paths[len(paths)-1], false
+}
+
+// Breakdown accumulates a class histogram over a set of events.
+type Breakdown struct {
+	Counts [NumClasses]int
+	Total  int
+}
+
+// Add folds one classified event into the breakdown.
+func (b *Breakdown) Add(c Class) {
+	b.Counts[c]++
+	b.Total++
+}
+
+// Share returns the fraction of events in class c (0 on an empty
+// breakdown).
+func (b Breakdown) Share(c Class) float64 {
+	if b.Total == 0 {
+		return 0
+	}
+	return float64(b.Counts[c]) / float64(b.Total)
+}

@@ -1,0 +1,208 @@
+package perception
+
+import (
+	"testing"
+
+	"latlab/internal/kernel"
+)
+
+// TestClassOfKindMatchesLabelMapping pins the kind→class mapping and
+// keeps the string-label variant (used by trace attribution, which only
+// has kind names) in lockstep with it: every message kind must classify
+// identically through both doors.
+func TestClassOfKindMatchesLabelMapping(t *testing.T) {
+	kinds := []kernel.MsgKind{
+		kernel.WMNull, kernel.WMKeyDown, kernel.WMChar, kernel.WMMouseDown,
+		kernel.WMMouseUp, kernel.WMPaint, kernel.WMTimer, kernel.WMQueueSync,
+		kernel.WMCommand, kernel.WMIdleWork, kernel.WMSysCommand, kernel.WMQuit,
+	}
+	for _, k := range kinds {
+		if got, want := ClassOfLabel(k.String()), ClassOfKind(k); got != want {
+			t.Errorf("%v: ClassOfLabel=%v ClassOfKind=%v", k, got, want)
+		}
+	}
+	if ClassOfKind(kernel.WMKeyDown) != Typing || ClassOfKind(kernel.WMChar) != Typing {
+		t.Errorf("keystrokes must classify as typing")
+	}
+	if ClassOfKind(kernel.WMMouseDown) != Pointing || ClassOfKind(kernel.WMMouseUp) != Pointing {
+		t.Errorf("mouse events must classify as pointing")
+	}
+	if ClassOfKind(kernel.WMCommand) != Command || ClassOfKind(kernel.WMSysCommand) != Command {
+		t.Errorf("commands must classify as command")
+	}
+	if ClassOfLabel("no-such-label") != Command {
+		t.Errorf("unknown labels must fall into the loosest class")
+	}
+}
+
+// TestClassifyBoundaries walks every event class's budget and checks
+// the half-open boundary convention: a latency exactly at a threshold
+// belongs to the worse class.
+func TestClassifyBoundaries(t *testing.T) {
+	m := Default()
+	for ec := EventClass(0); ec < NumEventClasses; ec++ {
+		b := m.Budgets[ec]
+		cases := []struct {
+			ms   float64
+			want Class
+		}{
+			{0, Imperceptible},
+			{b.PerceptibleMs - 0.001, Imperceptible},
+			{b.PerceptibleMs, Perceptible},
+			{b.AnnoyingMs - 0.001, Perceptible},
+			{b.AnnoyingMs, Annoying},
+			{b.UnusableMs - 0.001, Annoying},
+			{b.UnusableMs, Unusable},
+			{b.UnusableMs * 10, Unusable},
+		}
+		for _, c := range cases {
+			if got := m.Classify(ec, c.ms); got != c.want {
+				t.Errorf("%v %.3fms: got %v, want %v", ec, c.ms, got, c.want)
+			}
+		}
+	}
+}
+
+// TestClassifyMonotone: a worse latency can never land in a better
+// class, for every event class.
+func TestClassifyMonotone(t *testing.T) {
+	m := Default()
+	for ec := EventClass(0); ec < NumEventClasses; ec++ {
+		prev := Imperceptible
+		for ms := 0.0; ms <= 5000; ms += 7.3 {
+			c := m.Classify(ec, ms)
+			if c < prev {
+				t.Fatalf("%v: class improved from %v to %v at %.1fms", ec, prev, c, ms)
+			}
+			prev = c
+		}
+	}
+}
+
+// TestBudgetsOrderedAndPointingStrictest sanity-checks the default
+// calibration: thresholds ascend within each class, pointing is the
+// tightest contract, and the typing perception bound is the classical
+// 100 ms the rest of the repo uses.
+func TestBudgetsOrderedAndPointingStrictest(t *testing.T) {
+	m := Default()
+	for ec := EventClass(0); ec < NumEventClasses; ec++ {
+		b := m.Budgets[ec]
+		if !(0 < b.PerceptibleMs && b.PerceptibleMs < b.AnnoyingMs && b.AnnoyingMs < b.UnusableMs) {
+			t.Errorf("%v budget not strictly ascending: %+v", ec, b)
+		}
+	}
+	if m.Budgets[Typing].PerceptibleMs != 100 {
+		t.Errorf("typing perception bound = %v, want the classical 100ms", m.Budgets[Typing].PerceptibleMs)
+	}
+	for ec := EventClass(0); ec < NumEventClasses; ec++ {
+		if ec != Pointing && m.Budgets[ec].PerceptibleMs <= m.Budgets[Pointing].PerceptibleMs {
+			t.Errorf("pointing must be the strictest class, but %v is tighter", ec)
+		}
+	}
+}
+
+// TestPathLadders: each ladder starts with the full path at 100% and
+// descends strictly in latency share.
+func TestPathLadders(t *testing.T) {
+	for ec := EventClass(0); ec < NumEventClasses; ec++ {
+		paths := Paths(ec)
+		if len(paths) < 2 {
+			t.Fatalf("%v: ladder needs at least full + one fallback", ec)
+		}
+		if paths[0].Name != "full-render" || paths[0].LatencyPct != 100 {
+			t.Errorf("%v: first path %+v, want full-render at 100%%", ec, paths[0])
+		}
+		for i := 1; i < len(paths); i++ {
+			if paths[i].LatencyPct >= paths[i-1].LatencyPct {
+				t.Errorf("%v: ladder not strictly descending at %d: %+v", ec, i, paths)
+			}
+			if paths[i].LatencyPct <= 0 {
+				t.Errorf("%v: nonpositive latency share %+v", ec, paths[i])
+			}
+		}
+	}
+}
+
+// TestBestPath pins the verdict at the three regimes: fast events keep
+// the full path, slow events drop down the ladder, hopeless events fail
+// even the cheapest path.
+func TestBestPath(t *testing.T) {
+	m := Default()
+	// 40ms keystroke: full render already imperceptible.
+	if p, ok := m.BestPath(Typing, 40); !ok || p.Name != "full-render" {
+		t.Errorf("fast typing: got %+v ok=%v, want full-render", p, ok)
+	}
+	// 250ms keystroke: full path misses 100ms, glyph echo (35%) = 87.5ms fits.
+	if p, ok := m.BestPath(Typing, 250); !ok || p.Name != "glyph-echo" {
+		t.Errorf("slow typing: got %+v ok=%v, want glyph-echo", p, ok)
+	}
+	// 5s keystroke: even caret-only (10%) = 500ms misses; hopeless.
+	if p, ok := m.BestPath(Typing, 5000); ok || p.Name != "caret-only" {
+		t.Errorf("hopeless typing: got %+v ok=%v, want caret-only/false", p, ok)
+	}
+	// 300ms drag: full misses 50ms, outline (30%) = 90ms misses, cursor (5%) = 15ms fits.
+	if p, ok := m.BestPath(Pointing, 300); !ok || p.Name != "cursor-only" {
+		t.Errorf("slow pointing: got %+v ok=%v, want cursor-only", p, ok)
+	}
+}
+
+// TestBreakdown checks accumulation and share arithmetic, including the
+// empty-breakdown guard.
+func TestBreakdown(t *testing.T) {
+	var b Breakdown
+	if b.Share(Imperceptible) != 0 {
+		t.Fatalf("empty breakdown must have zero shares")
+	}
+	m := Default()
+	latencies := []float64{5, 20, 80, 120, 400, 2500}
+	for _, ms := range latencies {
+		b.Add(m.Classify(Typing, ms))
+	}
+	if b.Total != len(latencies) {
+		t.Fatalf("total %d, want %d", b.Total, len(latencies))
+	}
+	want := [NumClasses]int{3, 1, 1, 1}
+	if b.Counts != want {
+		t.Fatalf("counts %v, want %v", b.Counts, want)
+	}
+	sum := 0.0
+	for c := Class(0); c < NumClasses; c++ {
+		sum += b.Share(c)
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("shares sum to %v, want 1", sum)
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	wantClass := map[Class]string{
+		Imperceptible: "imperceptible", Perceptible: "perceptible",
+		Annoying: "annoying", Unusable: "unusable", NumClasses: "class?",
+	}
+	for c, want := range wantClass {
+		if got := c.String(); got != want {
+			t.Errorf("Class(%d).String() = %q, want %q", c, got, want)
+		}
+	}
+	wantEvent := map[EventClass]string{
+		Typing: "typing", Pointing: "pointing", Command: "command",
+		NumEventClasses: "event?",
+	}
+	for e, want := range wantEvent {
+		if got := e.String(); got != want {
+			t.Errorf("EventClass(%d).String() = %q, want %q", e, got, want)
+		}
+	}
+}
+
+func TestClassifyKind(t *testing.T) {
+	m := Default()
+	// 120 ms is perceptible typing (budget 100) but imperceptible as a
+	// command (budget 200): the kind must drive the budget.
+	if got := m.ClassifyKind(kernel.WMKeyDown, 120); got != Perceptible {
+		t.Errorf("ClassifyKind(WMKeyDown, 120) = %v, want perceptible", got)
+	}
+	if got := m.ClassifyKind(kernel.WMCommand, 120); got != Imperceptible {
+		t.Errorf("ClassifyKind(WMCommand, 120) = %v, want imperceptible", got)
+	}
+}

@@ -90,9 +90,12 @@ func New(cfg Config) *System {
 		b := b
 		// Housekeeping threads are kernel-resident loops (no goroutine):
 		// the phase toggle issues the identical Sleep/Compute request
-		// stream the goroutine form did.
+		// stream the goroutine form did. On a multicore profile they are
+		// pinned to logical CPU 1 — the housekeeping core, spilling onto
+		// further aux cores under contention — so the scheduler core
+		// (and the idle-loop instrument watching it) never sees them.
 		sleep := true
-		s.K.SpawnLoop(b.Name, kernel.KernelProc, BackgroundPrio, func(lc *kernel.LoopTC) bool {
+		fn := func(lc *kernel.LoopTC) bool {
 			if sleep {
 				lc.Sleep(b.Period)
 			} else {
@@ -100,7 +103,12 @@ func New(cfg Config) *System {
 			}
 			sleep = !sleep
 			return true
-		})
+		}
+		if prof.Cores > 1 {
+			s.K.SpawnLoopOn(b.Name, kernel.KernelProc, BackgroundPrio, 1, fn)
+		} else {
+			s.K.SpawnLoop(b.Name, kernel.KernelProc, BackgroundPrio, fn)
+		}
 	}
 
 	if p.MouseBusyWait {

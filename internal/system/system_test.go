@@ -3,6 +3,7 @@ package system
 import (
 	"testing"
 
+	"latlab/internal/cpu"
 	"latlab/internal/kernel"
 	"latlab/internal/machine"
 	"latlab/internal/persona"
@@ -228,6 +229,77 @@ func TestBootMatrixEveryPersonaOnEveryMachine(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// On a multicore profile the persona's background housekeeping runs on
+// the auxiliary cores: the scheduler core's ground-truth busy time must
+// drop relative to the single-core twin, the displaced work must show
+// up in AuxBusyTime, and the foreground must still echo every key.
+func TestModernProfilesOffloadBackgroundWork(t *testing.T) {
+	for _, p := range persona.All() {
+		t.Run(p.Short, func(t *testing.T) {
+			run := func(m machine.Profile) (core0, aux simtime.Duration) {
+				s := BootOn(p, m)
+				defer s.Shutdown()
+				s.SpawnApp("echo", func(tc *kernel.TC) {
+					for {
+						if tc.GetMessage().Kind == kernel.WMKeyDown {
+							s.Win.TextOut(tc, 1)
+						}
+					}
+				})
+				for i := 0; i < 5; i++ {
+					at := simtime.Time((50 + 300*i)) * simtime.Time(simtime.Millisecond)
+					s.K.At(at, func(simtime.Time) { s.Inject(kernel.WMKeyDown, 'x', false) })
+				}
+				s.K.Run(simtime.Time(3 * simtime.Second))
+				return s.K.NonIdleBusyTime(), s.K.AuxBusyTime()
+			}
+			multiCore0, multiAux := run(machine.Modern2026Pinned())
+			uniCore0, uniAux := run(machine.Modern2026Uni())
+			if uniAux != 0 {
+				t.Fatalf("single-core machine reported aux busy time %v", uniAux)
+			}
+			if len(p.Background) > 0 {
+				if multiAux <= 0 {
+					t.Fatalf("multicore machine ran no background work on aux cores")
+				}
+				if multiCore0 >= uniCore0 {
+					t.Fatalf("offload did not reduce scheduler-core busy: multi %v vs uni %v", multiCore0, uniCore0)
+				}
+			}
+		})
+	}
+}
+
+// The DVFS governor must ramp up under load and decay back to the
+// bottom level across an idle stretch — observable end to end through a
+// booted system, not just the pure Next function.
+func TestDVFSGovernorRampsAndDecays(t *testing.T) {
+	s := BootOn(persona.NT40(), machine.Modern2026())
+	defer s.Shutdown()
+	spec := machine.Modern2026().DVFS
+	if got := s.K.CPU().Clock(); got != spec.Level(0) {
+		t.Fatalf("boot clock = %v, want bottom level %v", got, spec.Level(0))
+	}
+	busyUntil := simtime.Time(300 * simtime.Millisecond)
+	s.SpawnApp("burn", func(tc *kernel.TC) {
+		for tc.Now() < busyUntil {
+			tc.Compute(cpu.Segment{Name: "burn", BaseCycles: 2_000_000})
+		}
+		tc.GetMessage() // park forever
+	})
+	s.K.Run(simtime.Time(250 * simtime.Millisecond))
+	if lvl := s.K.DVFSLevel(); lvl != spec.NumLevels()-1 {
+		t.Fatalf("sustained load reached level %d, want top %d", lvl, spec.NumLevels()-1)
+	}
+	s.K.Run(simtime.Time(2 * simtime.Second))
+	if lvl := s.K.DVFSLevel(); lvl != 0 {
+		t.Fatalf("idle stretch decayed to level %d, want 0", lvl)
+	}
+	if got := s.K.CPU().Clock(); got != spec.Level(0) {
+		t.Fatalf("idle clock = %v, want %v", got, spec.Level(0))
 	}
 }
 

@@ -1,0 +1,79 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"latlab/internal/perception"
+	"latlab/internal/trace"
+)
+
+// AttribClassTable renders the perceptual-class view of attribution
+// records: a class-share roll-up, then each episode classified under
+// its event class's budget, with the cheapest alternative
+// input-to-display path (POLYPATH-style) that would have kept it
+// imperceptible. Episodes keep their input order; the event class comes
+// from the message-kind suffix of the episode label ("...: WM_KEYDOWN").
+func AttribClassTable(w io.Writer, m perception.Model, recs []trace.AttribRecord) error {
+	type row struct {
+		label string
+		ec    perception.EventClass
+		ms    float64
+		class perception.Class
+		fix   string
+	}
+	var rows []row
+	var b perception.Breakdown
+	for _, r := range recs {
+		ec := perception.ClassOfLabel(labelKind(r.Label))
+		ms := r.Latency().Milliseconds()
+		c := m.Classify(ec, ms)
+		b.Add(c)
+		fix := "-"
+		if c != perception.Imperceptible {
+			if p, ok := m.BestPath(ec, ms); ok {
+				fix = p.Name
+			} else {
+				fix = fmt.Sprintf("none (beyond %s)", p.Name)
+			}
+		}
+		rows = append(rows, row{r.Label, ec, ms, c, fix})
+	}
+
+	if _, err := fmt.Fprintf(w, "perceptual classes — %d episodes\n\n", len(recs)); err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		_, err := fmt.Fprintln(w, "  (no episodes)")
+		return err
+	}
+	for c := perception.Class(0); c < perception.NumClasses; c++ {
+		if _, err := fmt.Fprintf(w, "  %-14s %4d %6.1f%%\n",
+			c.String(), b.Counts[c], 100*b.Share(c)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "\n  %-42s %9s %-9s %-14s %s\n",
+		"episode", "wall", "event", "class", "fastest fitting path"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "  %-42s %7.2fms %-9s %-14s %s\n",
+			r.label, r.ms, r.ec.String(), r.class.String(), r.fix); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// labelKind extracts the message-kind suffix of an episode label
+// ("Windows NT 4.0 @ p100: WM_KEYDOWN" → "WM_KEYDOWN"). A label
+// without the separator is returned whole, which classifies as the
+// loosest event class.
+func labelKind(label string) string {
+	if i := strings.LastIndex(label, ": "); i >= 0 {
+		return label[i+2:]
+	}
+	return label
+}

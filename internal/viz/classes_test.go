@@ -1,0 +1,61 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"latlab/internal/perception"
+	"latlab/internal/simtime"
+	"latlab/internal/trace"
+)
+
+// classRecs builds episodes spanning all four perceptual classes.
+func classRecs() []trace.AttribRecord {
+	mk := func(label string, startMs, wallMs float64) trace.AttribRecord {
+		return trace.AttribRecord{
+			Label: label,
+			Start: simtime.Time(simtime.FromMillis(startMs)),
+			End:   simtime.Time(simtime.FromMillis(startMs + wallMs)),
+		}
+	}
+	return []trace.AttribRecord{
+		mk("NT 4.0 @ p100: WM_KEYDOWN", 100, 5),      // imperceptible typing
+		mk("NT 4.0 @ p100: WM_KEYDOWN", 200, 250),    // perceptible typing → glyph-echo
+		mk("NT 4.0 @ p100: WM_LBUTTONDOWN", 300, 90), // perceptible pointing → outline-drag
+		mk("NT 4.0 @ p100: WM_COMMAND", 400, 1500),   // annoying command → acknowledge
+		mk("NT 4.0 @ p100: WM_KEYDOWN", 500, 5000),   // unusable typing, no path fits
+	}
+}
+
+func TestAttribClassTable(t *testing.T) {
+	var sb strings.Builder
+	if err := AttribClassTable(&sb, perception.Default(), classRecs()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"perceptual classes — 5 episodes",
+		"imperceptible     1   20.0%",
+		"perceptible       2   40.0%",
+		"annoying          1   20.0%",
+		"unusable          1   20.0%",
+		"glyph-echo",
+		"outline-drag",
+		"acknowledge",
+		"none (beyond caret-only)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAttribClassTableEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := AttribClassTable(&sb, perception.Default(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "(no episodes)") {
+		t.Errorf("empty table output: %q", sb.String())
+	}
+}
